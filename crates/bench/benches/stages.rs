@@ -1,0 +1,123 @@
+//! Criterion benchmarks of the four protocol stages in isolation
+//! (simulator wall-clock per stage, small fixed networks).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kbcast::packet::Packet;
+use kbcast::stage3::CollectState;
+use kbcast::stage4::DissemState;
+use kbcast::Config;
+use protocols::bfs::{BfsConfig, BfsNode};
+use protocols::leader::{ElectionNode, LeaderConfig};
+use protocols::timing;
+use radio_net::engine::Engine;
+use radio_net::graph::NodeId;
+use radio_net::rng;
+use radio_net::topology::Topology;
+
+fn bench_leader_election(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage1_leader");
+    g.sample_size(10);
+    let topo = Topology::Gnp { n: 48, p: 0.15 };
+    let graph = topo.build(1).unwrap();
+    let delta = graph.max_degree();
+    let d = graph.diameter().unwrap();
+    let cfg = LeaderConfig {
+        id_bits: 6,
+        window_rounds: timing::epidemic_window_rounds(48, d, delta, 3),
+        delta_bound: delta,
+    };
+    g.bench_function("gnp48_full_election", |b| {
+        b.iter_batched(
+            || {
+                let nodes: Vec<ElectionNode> = (0..48)
+                    .map(|i| {
+                        ElectionNode::new(cfg, i as u64, i % 5 == 0, rng::stream(1, i as u64))
+                    })
+                    .collect();
+                let awake: Vec<NodeId> = (0..48).filter(|i| i % 5 == 0).map(NodeId::new).collect();
+                Engine::new(graph.clone(), nodes, awake).unwrap()
+            },
+            |mut e| {
+                e.run(cfg.total_rounds());
+                e.round()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage2_bfs");
+    g.sample_size(10);
+    let topo = Topology::Grid2d { rows: 8, cols: 8 };
+    let graph = topo.build(0).unwrap();
+    let cfg = BfsConfig {
+        phase_rounds: (3 * timing::log_n(64) * timing::epoch_len(4)) as u64,
+        d_bound: 14,
+        delta_bound: 4,
+    };
+    g.bench_function("grid8x8_full_bfs", |b| {
+        b.iter_batched(
+            || {
+                let nodes: Vec<BfsNode> = (0..64)
+                    .map(|i| BfsNode::new(cfg, i as u64, i == 0, rng::stream(0, i as u64)))
+                    .collect();
+                Engine::new(graph.clone(), nodes, [NodeId::new(0)]).unwrap()
+            },
+            |mut e| {
+                e.run(cfg.total_rounds());
+                e.round()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_state_machines(c: &mut Criterion) {
+    // Pure state-machine throughput (no engine): how fast can a node be
+    // polled through a collection phase / a dissemination phase?
+    let cfg = Config::for_network(256, 8, 16);
+    c.bench_function("stage3_collect_poll_10k", |b| {
+        b.iter_batched(
+            || {
+                let packets: Vec<Packet> =
+                    (0..64).map(|i| Packet::new(1, i, vec![i as u8; 16])).collect();
+                (
+                    CollectState::new(cfg, 1, false, Some(0), packets, 0),
+                    rng::stream(0, 1),
+                )
+            },
+            |(mut st, mut rng)| {
+                for r in 0..10_000u64 {
+                    let _ = st.poll(r, &mut rng);
+                }
+                st.has_unacked()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("stage4_root_poll_10k", |b| {
+        b.iter_batched(
+            || {
+                let packets: Vec<Packet> =
+                    (0..256).map(|i| Packet::new(1, i, vec![i as u8; 16])).collect();
+                (DissemState::new_root(cfg, packets), rng::stream(0, 2))
+            },
+            |(mut st, mut rng)| {
+                let mut sent = 0u32;
+                for r in 0..10_000u64 {
+                    if st.poll(r, &mut rng).is_some() {
+                        sent += 1;
+                    }
+                }
+                sent
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_leader_election, bench_bfs, bench_state_machines);
+criterion_main!(benches);

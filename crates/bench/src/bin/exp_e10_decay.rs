@@ -1,0 +1,102 @@
+//! **E10 — The Decay lemma (BGI 1992): constant per-epoch reception
+//! probability for any 1 ≤ t ≤ Δ active neighbors.**
+//!
+//! Every stage of the paper leans on this: a listener whose
+//! transmitting neighborhood has unknown size still receives within one
+//! `⌈logΔ⌉`-round epoch with probability bounded below by a constant.
+//! The sweep measures that probability on a star (t active leaves, hub
+//! listening) across t and Δ.
+
+use kbcast_bench::table::{f3, Table};
+use kbcast_bench::Scale;
+use protocols::decay::Decay;
+use radio_net::engine::{Engine, Node};
+use radio_net::graph::NodeId;
+use radio_net::rng;
+use radio_net::topology;
+use rand::rngs::SmallRng;
+
+struct Leaf {
+    decay: Decay,
+    active: bool,
+    rng: SmallRng,
+}
+
+enum Star {
+    Leaf(Leaf),
+    Hub(bool),
+}
+
+impl Node for Star {
+    type Msg = u8;
+    fn poll(&mut self, round: u64) -> Option<u8> {
+        match self {
+            Star::Leaf(l) => (l.active && l.decay.should_transmit(round, &mut l.rng)).then_some(1),
+            Star::Hub(_) => None,
+        }
+    }
+    fn receive(&mut self, _round: u64, _msg: &u8) {
+        if let Star::Hub(h) = self {
+            *h = true;
+        }
+    }
+}
+
+fn reception_probability(delta: usize, t: usize, trials: u64) -> f64 {
+    let decay = Decay::new(delta);
+    let mut successes = 0u64;
+    for trial in 0..trials {
+        let g = topology::star(delta + 1).expect("star builds");
+        let nodes: Vec<Star> = (0..=delta)
+            .map(|i| {
+                if i == 0 {
+                    Star::Hub(false)
+                } else {
+                    Star::Leaf(Leaf {
+                        decay,
+                        active: i <= t,
+                        rng: rng::stream(trial, i as u64),
+                    })
+                }
+            })
+            .collect();
+        let mut e = Engine::new(g, nodes, (0..=delta).map(NodeId::new)).expect("engine");
+        e.run(decay.epoch_len() as u64);
+        if matches!(e.node(NodeId::new(0)), Star::Hub(true)) {
+            successes += 1;
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        successes as f64 / trials as f64
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let trials = scale.pick(300, 3_000);
+    println!("E10: per-epoch reception probability under Decay (star: t active of Δ leaves),");
+    println!("{trials} trials/cell — claim: bounded below by a constant for ALL 1 ≤ t ≤ Δ");
+    println!();
+
+    let deltas = [4usize, 16, 64];
+    let mut t = Table::new(&["Δ", "t=1", "t=2", "t=Δ/4", "t=Δ/2", "t=Δ"]);
+    let mut global_min = f64::INFINITY;
+    for &delta in &deltas {
+        let ts = [1, 2, (delta / 4).max(1), (delta / 2).max(1), delta];
+        let mut cells = vec![delta.to_string()];
+        for &tt in &ts {
+            let p = reception_probability(delta, tt, trials);
+            global_min = global_min.min(p);
+            cells.push(f3(p));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    println!();
+    println!(
+        "minimum observed probability: {global_min:.3} (the analytic worst case is ~1/(2e) ≈ \
+         0.184; the calibrated constants in Config budget for ≥ 0.2)"
+    );
+    assert!(global_min >= 0.18, "Decay lemma violated: {global_min}");
+}

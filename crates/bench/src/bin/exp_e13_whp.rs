@@ -1,0 +1,63 @@
+//! **E13 — "With high probability", empirically: success rate of the
+//! default constants across many seeds.**
+//!
+//! Every bound in the paper holds w.h.p. for "sufficiently large"
+//! constants; the implementation's defaults (Config::for_network) were
+//! calibrated so that end-to-end runs succeed across seeds and topology
+//! families. This binary measures that success rate — it is the
+//! reliability datum backing every other experiment.
+
+use kbcast::runner::{run, Workload};
+use kbcast_bench::table::Table;
+use kbcast_bench::Scale;
+use radio_net::topology::Topology;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seeds = scale.pick(10u64, 50);
+    println!("E13: end-to-end success rate over {seeds} seeds per configuration");
+    println!();
+
+    let configs: Vec<(String, Topology, usize)> = vec![
+        ("gnp(64)".into(), Topology::Gnp { n: 64, p: 0.13 }, 128),
+        ("gnp(256)".into(), Topology::Gnp { n: 256, p: 0.044 }, 256),
+        ("grid(8x8)".into(), Topology::Grid2d { rows: 8, cols: 8 }, 128),
+        ("rtree(64)".into(), Topology::RandomTree { n: 64 }, 64),
+        ("star(64)".into(), Topology::Star { n: 64 }, 128),
+        ("udg(64)".into(), Topology::UnitDisk { n: 64, radius: 0.3 }, 64),
+        ("regular(64,6)".into(), Topology::RandomRegular { n: 64, d: 6 }, 128),
+        ("path(32)".into(), Topology::Path { n: 32 }, 64),
+    ];
+
+    let mut t = Table::new(&["topology", "k", "successes", "rate"]);
+    let mut total_ok = 0u64;
+    let mut total = 0u64;
+    for (name, topo, k) in &configs {
+        let n = topo.build(0).expect("topology").len();
+        let mut ok = 0u64;
+        for seed in 0..seeds {
+            let w = Workload::random(n, *k, seed);
+            if run(topo, &w, None, seed).expect("run").success {
+                ok += 1;
+            }
+        }
+        total_ok += ok;
+        total += seeds;
+        #[allow(clippy::cast_precision_loss)]
+        t.row(&[
+            name.clone(),
+            k.to_string(),
+            format!("{ok}/{seeds}"),
+            format!("{:.3}", ok as f64 / seeds as f64),
+        ]);
+    }
+    t.print();
+    println!();
+    #[allow(clippy::cast_precision_loss)]
+    {
+        println!(
+            "overall: {total_ok}/{total} = {:.4} (the defaults' empirical 'w.h.p.')",
+            total_ok as f64 / total as f64
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! **E14 (extension) — dynamic packet arrivals via batch pipelining.**
+//!
+//! Beyond the paper: its conclusion poses the dynamic setting as an open
+//! problem. The implemented adaptation loops Stage 3 + Stage 4 in
+//! batches (see `kbcast::dynamic`). This experiment sweeps the arrival
+//! rate and measures per-packet latency and per-batch throughput: at low
+//! rates latency is dominated by the batch-framing floor (the static
+//! `(D + log n)·log n`-ish term paid per batch); at high rates batches
+//! grow and the amortized `O(logΔ)` per-packet regime of the static
+//! analysis reappears.
+
+use kbcast::dynamic::{run_dynamic, Arrival};
+use kbcast_bench::sweep::gnp_standard;
+use kbcast_bench::table::{f1, Table};
+use kbcast_bench::Scale;
+use radio_net::rng;
+use rand::Rng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.pick(32, 64);
+    let seeds = 2u64;
+    let horizon = 4_000_000u64;
+    let topo = gnp_standard(n);
+    println!("E14 (extension): dynamic arrivals, {topo}, {seeds} seeds/row");
+    println!("Poisson-like arrivals at the given mean inter-arrival gap; 2000-round warmup wave");
+    println!();
+
+    let mut t = Table::new(&[
+        "mean gap",
+        "packets",
+        "batches",
+        "mean batch k",
+        "mean latency",
+        "rounds/packet",
+        "ok",
+    ]);
+    for &gap in &[2_000u64, 500, 100, 20] {
+        let mut oks = 0;
+        let mut batches = 0.0;
+        let mut mean_k = 0.0;
+        let mut lat = 0.0;
+        let mut rpp = 0.0;
+        let mut total_packets = 0usize;
+        for seed in 0..seeds {
+            let mut r = rng::stream(seed, rng::salts::WORKLOAD);
+            let mut arrivals: Vec<Arrival> = (0..4)
+                .map(|i| Arrival {
+                    round: 0,
+                    node: (i * 3) % n,
+                    payload: vec![0, i as u8],
+                })
+                .collect();
+            let mut round = 0u64;
+            let k_target = scale.pick(60, 150);
+            while arrivals.len() < k_target {
+                round += r.gen_range(1..=2 * gap);
+                arrivals.push(Arrival {
+                    round,
+                    node: r.gen_range(0..n),
+                    payload: vec![1, arrivals.len() as u8],
+                });
+            }
+            total_packets = arrivals.len();
+            let rep = run_dynamic(&topo, &arrivals, None, seed, horizon).expect("run");
+            if rep.success {
+                oks += 1;
+                #[allow(clippy::cast_precision_loss)]
+                {
+                    batches += rep.batches.len() as f64;
+                    mean_k += rep.batches.iter().map(|b| b.k).sum::<usize>() as f64
+                        / rep.batches.len().max(1) as f64;
+                }
+                lat += rep.mean_latency();
+                #[allow(clippy::cast_precision_loss)]
+                {
+                    rpp += rep.rounds_total as f64 / rep.k.max(1) as f64;
+                }
+            }
+        }
+        let d = f64::from(oks.max(1));
+        t.row(&[
+            gap.to_string(),
+            total_packets.to_string(),
+            f1(batches / d),
+            f1(mean_k / d),
+            f1(lat / d),
+            f1(rpp / d),
+            format!("{oks}/{seeds}"),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("shape check: higher arrival rates (smaller gaps) pack more packets per batch,");
+    println!("so rounds/packet falls toward the static amortized regime — the batching");
+    println!("adaptation inherits the paper's asymptotics; at low rates the per-batch");
+    println!("framing floor dominates, exactly as the static bound's additive term.");
+}

@@ -1,0 +1,72 @@
+//! **E15 (extension) — robustness under channel noise.**
+//!
+//! Beyond the paper: its model is collision-only. This experiment
+//! injects i.i.d. reception loss (fading/external interference) and
+//! measures the algorithm's degradation. The self-correcting machinery
+//! (acknowledgements + alarms in Stage 3, rank-redundant coding in
+//! Stage 4) should absorb moderate loss with only a rounds penalty;
+//! heavy loss eventually breaks the one-shot stages (BFS labeling,
+//! dissemination waves), which is where success collapses.
+
+use kbcast::runner::{run_with_options, RunOptions, Workload};
+use kbcast_bench::table::{f1, f3, Table};
+use kbcast_bench::Scale;
+use radio_net::topology::Topology;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seeds = scale.pick(3u64, 10);
+    let n = 64;
+    let k = 128;
+    let topo = Topology::Gnp { n, p: 0.13 };
+    println!("E15 (extension): success & cost vs injected reception-loss rate");
+    println!("({topo}, k={k}, {seeds} seeds/row; loss is on top of collision losses)");
+    println!();
+
+    let mut t = Table::new(&["loss", "success", "median rounds", "slowdown", "dropped/rx"]);
+    let mut base_rounds = None;
+    for &loss in &[0.0f64, 0.02, 0.05, 0.10, 0.20, 0.35] {
+        let mut ok = 0;
+        let mut rounds = Vec::new();
+        let mut drop_ratio = 0.0;
+        for seed in 0..seeds {
+            let w = Workload::random(n, k, seed);
+            let r = run_with_options(
+                &topo,
+                &w,
+                None,
+                seed,
+                RunOptions {
+                    loss_rate: loss,
+                    max_rounds: None,
+                },
+            )
+            .expect("run");
+            if r.success {
+                ok += 1;
+                #[allow(clippy::cast_precision_loss)]
+                rounds.push(r.rounds_total as f64);
+            }
+            #[allow(clippy::cast_precision_loss)]
+            {
+                drop_ratio += r.stats.dropped as f64
+                    / (r.stats.dropped + r.stats.receptions).max(1) as f64;
+            }
+        }
+        let med = kbcast_bench::stats::median(&rounds);
+        let base = *base_rounds.get_or_insert(med);
+        #[allow(clippy::cast_precision_loss)]
+        t.row(&[
+            format!("{loss:.2}"),
+            format!("{ok}/{seeds}"),
+            format!("{med:.0}"),
+            f1(med / base),
+            f3(drop_ratio / seeds as f64),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("shape check: graceful rounds-inflation at small loss (the protocol's built-in");
+    println!("redundancy absorbs it), collapse only at heavy loss — the failure point is the");
+    println!("one-shot stages (BFS labeling and per-ring dissemination windows).");
+}

@@ -1,0 +1,75 @@
+//! **E2 — Total completion time vs k (Theorem 2).**
+//!
+//! Paper claim: total time is `O(k·logΔ + (D + log n)·log n·logΔ)` —
+//! an additive fixed cost plus a term linear in `k`. On log-log axes the
+//! curve's slope tends to 1 once `k` dominates, and the fitted
+//! per-packet slope on the linear tail estimates the `logΔ` coefficient.
+
+use kbcast_bench::stats::{loglog_slope, slope};
+use kbcast_bench::sweep::{gnp_standard, measure, Algo};
+use kbcast_bench::table::{f1, f2, Table};
+use kbcast_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.pick(128, 256);
+    let seeds = 2;
+    let ks: Vec<usize> = scale.pick(vec![32, 128, 512], vec![32, 96, 256, 768, 2048]);
+    let topo = gnp_standard(n);
+    let probe = topo.build(0).expect("topology");
+    let delta = probe.max_degree();
+    println!(
+        "E2: total rounds vs k, {} (n={n}, D={}, Δ={delta}), {} seeds/point",
+        topo,
+        probe.diameter().unwrap(),
+        seeds
+    );
+    println!();
+
+    let mut t = Table::new(&["k", "coded rounds", "bii rounds", "coded r/k", "bii r/k"]);
+    let mut kxs = Vec::new();
+    let mut coded_y = Vec::new();
+    let mut bii_y = Vec::new();
+    for &k in &ks {
+        let c = measure(Algo::Coded, &topo, k, seeds);
+        let b = measure(Algo::Bii, &topo, k, seeds);
+        #[allow(clippy::cast_precision_loss)]
+        {
+            kxs.push(k as f64);
+        }
+        coded_y.push(c.rounds);
+        bii_y.push(b.rounds);
+        t.row(&[
+            k.to_string(),
+            format!("{:.0}", c.rounds),
+            format!("{:.0}", b.rounds),
+            f1(c.amortized),
+            f1(b.amortized),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // Linear tail: per-packet cost from the last half of the sweep.
+    let half = kxs.len() / 2;
+    let coded_tail = slope(&kxs[half..], &coded_y[half..]);
+    let bii_tail = slope(&kxs[half..], &bii_y[half..]);
+    let log_delta = protocols::timing::epoch_len(delta) as f64;
+    println!(
+        "log-log slope (k-dominated regime tends to 1): coded {}, bii {}",
+        f2(loglog_slope(&kxs[half..], &coded_y[half..])),
+        f2(loglog_slope(&kxs[half..], &bii_y[half..]))
+    );
+    println!(
+        "per-packet slope on the tail: coded {:.1} rounds/packet ({:.1}·logΔ), bii {:.1} ({:.1}·logΔ)",
+        coded_tail,
+        coded_tail / log_delta,
+        bii_tail,
+        bii_tail / log_delta
+    );
+    println!(
+        "fixed additive cost (extrapolated intercept at k=0): coded ≈ {:.0} rounds \
+         [(D+log n)·log n·logΔ term]",
+        coded_y[half] - coded_tail * kxs[half]
+    );
+}

@@ -1,0 +1,69 @@
+//! **E3 — Scaling with n at fixed k (Theorem 2's additive term, and the
+//! `log n` gap).**
+//!
+//! Paper claim: at fixed `k`, the coded algorithm's amortized cost stays
+//! flat as `n` grows (its per-packet term is `O(logΔ)`, independent of
+//! `n`), while BII's amortized cost grows as `Θ(log n·logΔ)`. The
+//! crossover point where the coded algorithm starts winning depends on
+//! the calibrated constants (documented in EXPERIMENTS.md); the *trend*
+//! — flat vs growing — is the reproduced shape.
+
+use kbcast_bench::stats::slope;
+use kbcast_bench::sweep::{gnp_standard, measure, Algo};
+use kbcast_bench::table::{f1, f2, Table};
+use kbcast_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ns: Vec<usize> = scale.pick(vec![64, 128, 256], vec![64, 128, 256, 512, 1024]);
+    let seeds = 2;
+    let k = scale.pick(128, 512);
+    println!(
+        "E3: amortized rounds/packet vs n at fixed k = {k} (k-term dominant at every n), \
+         G(n, 2ln n/n), {seeds} seeds"
+    );
+    println!();
+    let mut t = Table::new(&[
+        "n",
+        "log n",
+        "D",
+        "Δ",
+        "coded amort",
+        "coded/logΔ",
+        "bii amort",
+        "bii/(logn·logΔ)",
+    ]);
+    let mut lognx = Vec::new();
+    let mut coded_y = Vec::new();
+    let mut bii_y = Vec::new();
+    for &n in &ns {
+        let topo = gnp_standard(n);
+        let c = measure(Algo::Coded, &topo, k, seeds);
+        let b = measure(Algo::Bii, &topo, k, seeds);
+        let log_n = protocols::timing::log_n(n) as f64;
+        let log_delta = protocols::timing::epoch_len(c.max_degree) as f64;
+        t.row(&[
+            n.to_string(),
+            format!("{log_n}"),
+            c.diameter.to_string(),
+            c.max_degree.to_string(),
+            f1(c.amortized),
+            f2(c.amortized / log_delta),
+            f1(b.amortized),
+            f2(b.amortized / (log_n * log_delta)),
+        ]);
+        if c.successes > 0 && b.successes > 0 {
+            lognx.push(log_n);
+            coded_y.push(c.amortized);
+            bii_y.push(b.amortized);
+        }
+    }
+    t.print();
+    println!();
+    println!(
+        "growth per unit log n (rows where both algorithms succeeded): coded {:.1} \
+         rounds/packet (claim: ~flat), bii {:.1} (claim: grows)",
+        slope(&lognx, &coded_y),
+        slope(&lognx, &bii_y)
+    );
+}

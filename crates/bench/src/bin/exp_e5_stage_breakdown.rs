@@ -1,0 +1,77 @@
+//! **E5 — Per-stage round counts vs the per-stage bounds.**
+//!
+//! Paper claims, stage by stage:
+//!
+//! * Stage 1 (Fact 1): `O((D + log n)·log n·logΔ)`;
+//! * Stage 2 (Theorem 1): `O(D·log n·logΔ)`;
+//! * Stage 3 (Lemma 5): `O(k + (D + log n)·log n)`;
+//! * Stage 4 (Lemma 7): `O(k·logΔ + D·log n·logΔ)`.
+//!
+//! This binary runs the full algorithm across an (n, k) grid and prints
+//! each stage's measured rounds next to its bound formula's value; the
+//! ratio column should stay bounded across the sweep if the shape holds.
+
+use kbcast::runner::{run, Workload};
+use kbcast::Config;
+use kbcast_bench::sweep::gnp_standard;
+use kbcast_bench::table::{f2, Table};
+use kbcast_bench::Scale;
+use protocols::timing::{epoch_len, log_n};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ns: Vec<usize> = scale.pick(vec![64, 128], vec![64, 128, 256, 512]);
+    let k_factors: Vec<usize> = scale.pick(vec![1, 4], vec![1, 4, 8]);
+    let seed = 7;
+    println!("E5: measured stage rounds / per-stage bound formula, G(n, 2ln n/n)");
+    println!("(bound formulas evaluated without their hidden constants; ratios should be");
+    println!(" roughly flat across the sweep if the measured shape matches the claim)");
+    println!();
+
+    let mut t = Table::new(&[
+        "n", "k", "D", "Δ", "s1", "s1/bound", "s2", "s2/bound", "s3", "s3/bound", "s4",
+        "s4/bound",
+    ]);
+    for &n in &ns {
+        for &kf in &k_factors {
+            let k = kf * n;
+            let topo = gnp_standard(n);
+            let g = topo.build(seed).expect("topology");
+            let (d, delta) = (g.diameter().unwrap(), g.max_degree());
+            let cfg = Config::for_network(n, d, delta);
+            let w = Workload::random(n, k, seed);
+            let r = run(&topo, &w, Some(cfg), seed).expect("run");
+            if !r.success {
+                eprintln!("warning: n={n} k={k} seed={seed} failed; skipping row");
+                continue;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let (df, lnf, ldf, kf64) = (
+                d as f64,
+                log_n(n) as f64,
+                epoch_len(delta) as f64,
+                k as f64,
+            );
+            let b1 = (df + lnf) * lnf * ldf;
+            let b2 = df * lnf * ldf;
+            let b3 = kf64 + (df + lnf) * lnf;
+            let b4 = kf64 * ldf + df * lnf * ldf;
+            #[allow(clippy::cast_precision_loss)]
+            t.row(&[
+                n.to_string(),
+                k.to_string(),
+                d.to_string(),
+                delta.to_string(),
+                r.stages.leader.to_string(),
+                f2(r.stages.leader as f64 / b1),
+                r.stages.bfs.to_string(),
+                f2(r.stages.bfs as f64 / b2),
+                r.stages.collect.to_string(),
+                f2(r.stages.collect as f64 / b3),
+                r.stages.disseminate.to_string(),
+                f2(r.stages.disseminate as f64 / b4),
+            ]);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,54 @@
+//! Shared infrastructure for the experiment binaries (`src/bin/exp_*`)
+//! that regenerate every quantitative claim of the paper — see
+//! `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for
+//! recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+/// Experiment scale, selected with the `KB_SCALE` environment variable
+/// (`quick` or `full`, default `full`). `quick` keeps every binary under
+/// ~30 s for smoke-testing; `full` is what EXPERIMENTS.md records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sweep for smoke tests.
+    Quick,
+    /// The full sweep recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Reads `KB_SCALE` from the environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("KB_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Picks `quick` or `full` variants of a sweep parameter.
+    #[must_use]
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

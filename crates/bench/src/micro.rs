@@ -1,0 +1,351 @@
+//! Isolated micro-simulations of single sub-routines, for the
+//! experiments that reproduce per-lemma claims (E7: `FORWARD`/Lemma 6,
+//! E8: `OSPG`/Lemma 4) without the surrounding stages.
+
+use std::collections::{BTreeMap, HashSet};
+
+use gf2::bitvec::BitVec;
+use gf2::decoder::Decoder;
+use kbcast::messages::HEADER_BITS;
+use protocols::decay::Decay;
+use radio_net::engine::{Engine, Node};
+use radio_net::graph::{Graph, NodeId};
+use radio_net::message::MessageSize;
+use radio_net::rng;
+use radio_net::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+// ---------------------------------------------------------------------
+// OSPG in isolation (experiment E8).
+// ---------------------------------------------------------------------
+
+/// One packet step of the isolated `OSPG` unicast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpMsg {
+    /// Packet identity.
+    pub pkt: u64,
+    /// Addressee (the transmitter's parent).
+    pub to: u64,
+}
+
+impl MessageSize for UpMsg {
+    fn size_bits(&self) -> usize {
+        HEADER_BITS + 128
+    }
+}
+
+#[derive(Debug)]
+struct OspgNode {
+    my_id: u64,
+    parent: Option<u64>,
+    is_root: bool,
+    launches: BTreeMap<u64, u64>,
+    relay: Option<UpMsg>,
+    received: HashSet<u64>,
+}
+
+impl Node for OspgNode {
+    type Msg = UpMsg;
+    fn poll(&mut self, round: u64) -> Option<UpMsg> {
+        if let Some(m) = self.relay.take() {
+            return Some(m);
+        }
+        let pkt = self.launches.remove(&round)?;
+        let to = self.parent?;
+        Some(UpMsg { pkt, to })
+    }
+    fn receive(&mut self, _round: u64, msg: &UpMsg) {
+        if msg.to != self.my_id {
+            return;
+        }
+        if self.is_root {
+            self.received.insert(msg.pkt);
+        } else if let Some(parent) = self.parent {
+            self.relay = Some(UpMsg {
+                pkt: msg.pkt,
+                to: parent,
+            });
+        }
+    }
+}
+
+/// Outcome of one isolated `OSPG(y)` execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OspgOutcome {
+    /// Packets that existed.
+    pub packets: usize,
+    /// Distinct packets that reached the root.
+    pub delivered: usize,
+}
+
+impl OspgOutcome {
+    /// Delivered fraction.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.delivered as f64 / self.packets.max(1) as f64
+        }
+    }
+}
+
+/// Runs a single `OSPG(y)` (upward half only — no acks, as in the
+/// paper's Lemma 4 argument) on `topology` rooted at `root`, with
+/// `packets_at[i]` packets at node `i`. Each packet draws one launch
+/// slot in `[1, 6y]`; the run lasts `6y + D` rounds.
+///
+/// # Panics
+///
+/// Panics if the topology fails to build or is disconnected.
+#[must_use]
+pub fn ospg_once(
+    topology: &Topology,
+    root: usize,
+    packets_at: &[usize],
+    y: usize,
+    seed: u64,
+) -> OspgOutcome {
+    let g = topology.build(seed).expect("topology builds");
+    let n = g.len();
+    assert_eq!(packets_at.len(), n);
+    let d = g.diameter().expect("connected topology");
+    let dist = g.bfs_distances(NodeId::new(root));
+    let parent_of = |i: usize| -> Option<u64> {
+        if i == root {
+            return None;
+        }
+        let di = dist[i].expect("connected");
+        g.neighbors(NodeId::new(i))
+            .iter()
+            .find(|&&p| dist[p.index()] == Some(di - 1))
+            .map(|p| p.index() as u64)
+    };
+    let mut packets = 0u64;
+    let nodes: Vec<OspgNode> = (0..n)
+        .map(|i| {
+            let mut launches = BTreeMap::new();
+            let mut r = rng::stream(seed, i as u64);
+            for _ in 0..packets_at[i] {
+                let pkt = packets;
+                packets += 1;
+                if i != root {
+                    let slot = r.gen_range(1..=(6 * y) as u64);
+                    launches.entry(slot).or_insert(pkt);
+                }
+            }
+            OspgNode {
+                my_id: i as u64,
+                parent: parent_of(i),
+                is_root: i == root,
+                launches,
+                relay: None,
+                received: HashSet::new(),
+            }
+        })
+        .collect();
+    let mut e = Engine::new(g, nodes, (0..n).map(NodeId::new)).expect("engine");
+    e.run((6 * y + d + 1) as u64);
+    let delivered = e.node(NodeId::new(root)).received.len();
+    OspgOutcome {
+        packets: usize::try_from(packets).expect("fits"),
+        delivered,
+    }
+}
+
+// ---------------------------------------------------------------------
+// FORWARD in isolation (experiment E7).
+// ---------------------------------------------------------------------
+
+/// A coded row in the isolated `FORWARD` micro-benchmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowMsg {
+    /// Selection vector.
+    pub coeffs: BitVec,
+    /// Combined payload.
+    pub payload: Vec<u8>,
+}
+
+impl MessageSize for RowMsg {
+    fn size_bits(&self) -> usize {
+        HEADER_BITS + self.coeffs.len() + self.payload.len() * 8
+    }
+}
+
+#[derive(Debug)]
+enum FwdNode {
+    Tx {
+        group: Vec<Vec<u8>>,
+        decay: Decay,
+        rng: SmallRng,
+    },
+    Rx {
+        decoder: Decoder,
+        receptions: usize,
+    },
+}
+
+impl Node for FwdNode {
+    type Msg = RowMsg;
+    fn poll(&mut self, round: u64) -> Option<RowMsg> {
+        match self {
+            FwdNode::Tx { group, decay, rng } => {
+                if !decay.should_transmit(round, rng) {
+                    return None;
+                }
+                let coeffs = BitVec::random_nonzero(group.len(), rng);
+                let len = group.first().map_or(0, Vec::len);
+                let mut payload = vec![0u8; len];
+                for i in coeffs.iter_ones() {
+                    for (a, b) in payload.iter_mut().zip(&group[i]) {
+                        *a ^= b;
+                    }
+                }
+                Some(RowMsg { coeffs, payload })
+            }
+            FwdNode::Rx { .. } => None,
+        }
+    }
+    fn receive(&mut self, _round: u64, msg: &RowMsg) {
+        if let FwdNode::Rx {
+            decoder,
+            receptions,
+        } = self
+        {
+            *receptions += 1;
+            if !decoder.is_complete() {
+                decoder.insert(msg.coeffs.clone(), msg.payload.clone());
+            }
+        }
+    }
+}
+
+/// Outcome of one isolated `FORWARD` execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ForwardOutcome {
+    /// Fraction of receivers that decoded the whole group.
+    pub decoded_fraction: f64,
+    /// Mean successful receptions per receiver.
+    pub mean_receptions: f64,
+}
+
+/// Runs `FORWARD` in isolation on a complete bipartite layer:
+/// `transmitters` nodes all holding the same `group_size`-packet group
+/// transmit random nonzero combinations with the Decay schedule
+/// (`delta_bound` sets the epoch length) for `epochs` epochs;
+/// `receivers` nodes listen and decode.
+#[must_use]
+pub fn forward_once(
+    transmitters: usize,
+    receivers: usize,
+    group_size: usize,
+    payload_len: usize,
+    epochs: usize,
+    delta_bound: usize,
+    seed: u64,
+) -> ForwardOutcome {
+    assert!(transmitters >= 1 && receivers >= 1 && group_size >= 1);
+    let n = transmitters + receivers;
+    let edges = (0..transmitters)
+        .flat_map(|t| (0..receivers).map(move |r| (t, transmitters + r)));
+    let g = Graph::from_edges(n, edges).expect("bipartite layer builds");
+    let mut wrng = rng::stream(seed, rng::salts::WORKLOAD);
+    let group: Vec<Vec<u8>> = (0..group_size)
+        .map(|_| (0..payload_len).map(|_| wrng.gen()).collect())
+        .collect();
+    let decay = Decay::new(delta_bound);
+    let nodes: Vec<FwdNode> = (0..n)
+        .map(|i| {
+            if i < transmitters {
+                FwdNode::Tx {
+                    group: group.clone(),
+                    decay,
+                    rng: rng::stream(seed, i as u64),
+                }
+            } else {
+                FwdNode::Rx {
+                    decoder: Decoder::new(group_size, payload_len),
+                    receptions: 0,
+                }
+            }
+        })
+        .collect();
+    let mut e = Engine::new(g, nodes, (0..n).map(NodeId::new)).expect("engine");
+    e.run((epochs * decay.epoch_len()) as u64);
+    let mut decoded = 0usize;
+    let mut receptions = 0usize;
+    for i in transmitters..n {
+        if let FwdNode::Rx {
+            decoder,
+            receptions: rx,
+        } = e.node(NodeId::new(i))
+        {
+            if decoder.is_complete() {
+                decoded += 1;
+            }
+            receptions += rx;
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    ForwardOutcome {
+        decoded_fraction: decoded as f64 / receivers as f64,
+        mean_receptions: receptions as f64 / receivers as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ospg_with_ample_slots_delivers_everything() {
+        // One source far from the root, y >> k: a lone packet chain
+        // cannot collide with itself.
+        let mut packets = vec![0usize; 10];
+        packets[9] = 1;
+        let out = ospg_once(&Topology::Path { n: 10 }, 0, &packets, 8, 1);
+        assert_eq!(out.delivered, 1);
+    }
+
+    #[test]
+    fn ospg_overload_loses_packets() {
+        // k far above 6y: most launches share slots and are dropped.
+        let mut packets = vec![0usize; 6];
+        packets[5] = 200;
+        let out = ospg_once(&Topology::Path { n: 6 }, 0, &packets, 2, 3);
+        assert!(out.delivered < out.packets);
+        assert!(out.delivered <= 12); // at most 6y distinct slots
+    }
+
+    #[test]
+    fn ospg_root_packets_do_not_travel() {
+        let mut packets = vec![0usize; 4];
+        packets[0] = 3; // at the root itself
+        let out = ospg_once(&Topology::Path { n: 4 }, 0, &packets, 4, 0);
+        assert_eq!(out.packets, 3);
+        assert_eq!(out.delivered, 0); // they never traverse the channel
+    }
+
+    #[test]
+    fn forward_with_enough_epochs_decodes() {
+        let out = forward_once(4, 6, 8, 16, 60, 8, 1);
+        assert!(
+            out.decoded_fraction > 0.95,
+            "fraction {}",
+            out.decoded_fraction
+        );
+        assert!(out.mean_receptions >= 8.0);
+    }
+
+    #[test]
+    fn forward_with_too_few_epochs_fails() {
+        let out = forward_once(4, 6, 8, 16, 3, 8, 1);
+        assert!(out.decoded_fraction < 0.5, "fraction {}", out.decoded_fraction);
+    }
+
+    #[test]
+    fn forward_single_transmitter_works() {
+        let out = forward_once(1, 3, 4, 8, 40, 4, 2);
+        assert!((out.decoded_fraction - 1.0).abs() < 1e-9);
+    }
+}

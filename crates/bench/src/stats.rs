@@ -1,0 +1,109 @@
+//! Small statistics helpers for experiment summaries.
+
+/// Arithmetic mean; 0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+}
+
+/// Median (average of the middle two for even length); 0 for empty.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in experiment data"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Least-squares slope of `y` against `x` — used to fit growth exponents
+/// on log-log data ("total time grows linearly in k" ⇒ slope ≈ 1 on
+/// log-log axes).
+///
+/// Returns 0 for fewer than two points.
+#[must_use]
+pub fn slope(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "slope needs paired samples");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let sxx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    if sxx == 0.0 {
+        0.0
+    } else {
+        sxy / sxx
+    }
+}
+
+/// Log-log slope: fit of `ln y` against `ln x`.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+#[must_use]
+pub fn loglog_slope(x: &[f64], y: &[f64]) -> f64 {
+    let lx: Vec<f64> = x
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "log-log fit needs positive values");
+            v.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = y
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "log-log fit needs positive values");
+            v.ln()
+        })
+        .collect();
+    slope(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn slope_of_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        assert!((slope(&x, &y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_slope_of_power_law() {
+        let x = [1.0, 2.0, 4.0, 8.0];
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * v * v).collect();
+        assert!((loglog_slope(&x, &y) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_slopes() {
+        assert_eq!(slope(&[1.0], &[2.0]), 0.0);
+        assert_eq!(slope(&[2.0, 2.0], &[1.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared sweep driver used by experiments E1, E2, E3 and E12: run the
+//! coded algorithm, the uncoded ablation and the BII baseline over a
+//! parameter grid and collect per-run records.
+
+use kbcast::baseline::{run_bii, BiiConfig};
+use kbcast::runner::{run, Workload};
+use kbcast::Config;
+use radio_net::topology::Topology;
+
+use crate::stats::median;
+
+/// Which algorithm a record belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's coded algorithm (all four stages).
+    Coded,
+    /// The paper's algorithm with `group_size_override = 1` (no coding
+    /// gain in Stage 4).
+    Uncoded,
+    /// The Bar-Yehuda–Israeli–Itai baseline.
+    Bii,
+}
+
+impl std::fmt::Display for Algo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algo::Coded => write!(f, "coded"),
+            Algo::Uncoded => write!(f, "uncoded"),
+            Algo::Bii => write!(f, "bii"),
+        }
+    }
+}
+
+/// One aggregated measurement (median over seeds).
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Algorithm.
+    pub algo: Algo,
+    /// Nodes.
+    pub n: usize,
+    /// Packets.
+    pub k: usize,
+    /// Diameter of the (first seed's) topology.
+    pub diameter: usize,
+    /// Max degree of the (first seed's) topology.
+    pub max_degree: usize,
+    /// Seeds that completed successfully.
+    pub successes: usize,
+    /// Seeds attempted.
+    pub seeds: usize,
+    /// Median total rounds over successful seeds.
+    pub rounds: f64,
+    /// Median amortized rounds per packet over successful seeds.
+    pub amortized: f64,
+    /// Median Stage 4 (dissemination) rounds — 0 for BII, which has no
+    /// stages.
+    pub dissem_rounds: f64,
+}
+
+/// Runs `algo` on `topology` with a random `k`-packet workload for each
+/// seed in `0..seeds`, and aggregates.
+///
+/// # Panics
+///
+/// Panics if the topology fails to build.
+#[must_use]
+pub fn measure(algo: Algo, topology: &Topology, k: usize, seeds: u64) -> Point {
+    let probe = topology.build(0).expect("topology builds");
+    let n = probe.len();
+    let diameter = probe.diameter().expect("connected");
+    let max_degree = probe.max_degree();
+    let mut rounds = Vec::new();
+    let mut amortized = Vec::new();
+    let mut dissem = Vec::new();
+    let mut successes = 0;
+    for seed in 0..seeds {
+        let w = Workload::random(n, k, seed);
+        match algo {
+            Algo::Coded | Algo::Uncoded => {
+                let g = topology.build(seed).expect("topology builds");
+                let mut cfg =
+                    Config::for_network(g.len(), g.diameter().expect("connected"), g.max_degree());
+                if algo == Algo::Uncoded {
+                    cfg.group_size_override = Some(1);
+                }
+                let r = run(topology, &w, Some(cfg), seed).expect("run");
+                if r.success {
+                    successes += 1;
+                    #[allow(clippy::cast_precision_loss)]
+                    rounds.push(r.rounds_total as f64);
+                    amortized.push(r.amortized_rounds_per_packet());
+                    #[allow(clippy::cast_precision_loss)]
+                    dissem.push(r.stages.disseminate as f64);
+                }
+            }
+            Algo::Bii => {
+                let g = topology.build(seed).expect("topology builds");
+                let cfg = BiiConfig::for_network(g.len(), g.max_degree());
+                let r = run_bii(topology, &w, Some(cfg), seed).expect("run");
+                if r.success {
+                    successes += 1;
+                    #[allow(clippy::cast_precision_loss)]
+                    rounds.push(r.rounds_total as f64);
+                    amortized.push(r.amortized_rounds_per_packet());
+                    dissem.push(0.0);
+                }
+            }
+        }
+    }
+    Point {
+        algo,
+        n,
+        k,
+        diameter,
+        max_degree,
+        successes,
+        seeds: usize::try_from(seeds).expect("fits"),
+        rounds: median(&rounds),
+        amortized: median(&amortized),
+        dissem_rounds: median(&dissem),
+    }
+}
+
+/// A G(n, p) topology with `p = 2·ln n / n` — connected w.h.p., diameter
+/// `O(log n)`; the default experiment family.
+#[must_use]
+pub fn gnp_standard(n: usize) -> Topology {
+    #[allow(clippy::cast_precision_loss)]
+    let p = (2.0 * (n as f64).ln() / n as f64).min(1.0);
+    Topology::Gnp { n, p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_small_coded() {
+        let p = measure(Algo::Coded, &Topology::Path { n: 6 }, 4, 2);
+        assert_eq!(p.successes, 2);
+        assert!(p.rounds > 0.0);
+        assert!(p.amortized > 0.0);
+    }
+
+    #[test]
+    fn measure_small_bii() {
+        let p = measure(Algo::Bii, &Topology::Path { n: 6 }, 4, 2);
+        assert_eq!(p.successes, 2);
+        assert_eq!(p.dissem_rounds, 0.0);
+    }
+
+    #[test]
+    fn gnp_standard_is_connected() {
+        for n in [16, 64, 256] {
+            assert!(gnp_standard(n).build(1).unwrap().is_connected());
+        }
+    }
+
+    #[test]
+    fn algo_display() {
+        assert_eq!(Algo::Coded.to_string(), "coded");
+        assert_eq!(Algo::Uncoded.to_string(), "uncoded");
+        assert_eq!(Algo::Bii.to_string(), "bii");
+    }
+}

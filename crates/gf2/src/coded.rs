@@ -1,0 +1,124 @@
+//! Wire representation of coded packets and the random-subset encoder.
+
+use rand::Rng;
+
+use crate::bitvec::BitVec;
+
+/// A coded packet as it travels on the radio channel: the coefficient
+/// header (which group members are XORed in) plus the combined payload.
+///
+/// The paper bounds the header at `⌈log n⌉` bits and the payload at `b`
+/// bits, so a coded message is at most twice the size of a plain packet;
+/// [`CodedPacket::size_bits`] exposes exactly that accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodedPacket {
+    /// Selection bit-vector over the group (length = group size `w`).
+    pub coefficients: BitVec,
+    /// XOR of the selected packets' payloads, padded to the group's
+    /// payload length.
+    pub payload: Vec<u8>,
+}
+
+impl CodedPacket {
+    /// Size on the channel: header bits + payload bits.
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        self.coefficients.len() + self.payload.len() * 8
+    }
+}
+
+/// XORs the group members selected by `coefficients` into a fresh payload
+/// buffer sized to the longest group member.
+///
+/// # Panics
+///
+/// Panics if `coefficients.len() != group.len()`.
+#[must_use]
+pub fn encode_subset(coefficients: &BitVec, group: &[Vec<u8>]) -> CodedPacket {
+    assert_eq!(
+        coefficients.len(),
+        group.len(),
+        "coefficient length must equal group size"
+    );
+    let len = group.iter().map(Vec::len).max().unwrap_or(0);
+    let mut payload = vec![0u8; len];
+    for i in coefficients.iter_ones() {
+        for (a, b) in payload.iter_mut().zip(&group[i]) {
+            *a ^= b;
+        }
+    }
+    CodedPacket {
+        coefficients: coefficients.clone(),
+        payload,
+    }
+}
+
+/// Draws the paper's coding distribution — each group member selected
+/// independently with probability ½ — and encodes it.
+///
+/// The all-zero selection is allowed (it transmits a zero payload); it is
+/// simply a redundant row at every receiver, exactly as analyzed.
+#[must_use]
+pub fn encode_random(group: &[Vec<u8>], rng: &mut impl Rng) -> CodedPacket {
+    let coefficients = BitVec::random(group.len(), rng);
+    encode_subset(&coefficients, group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_subset_xors_selected_members() {
+        let group = vec![vec![0b1111_0000u8], vec![0b0000_1111], vec![0b1010_1010]];
+        let c = BitVec::from_lsb_bits(0b101, 3);
+        let p = encode_subset(&c, &group);
+        assert_eq!(p.payload, vec![0b1111_0000 ^ 0b1010_1010]);
+    }
+
+    #[test]
+    fn encode_pads_to_longest_member() {
+        let group = vec![vec![1u8], vec![2u8, 3u8]];
+        let c = BitVec::from_lsb_bits(0b11, 2);
+        let p = encode_subset(&c, &group);
+        assert_eq!(p.payload, vec![1 ^ 2, 3]);
+    }
+
+    #[test]
+    fn empty_selection_gives_zero_payload() {
+        let group = vec![vec![7u8], vec![9u8]];
+        let p = encode_subset(&BitVec::zeros(2), &group);
+        assert_eq!(p.payload, vec![0]);
+    }
+
+    #[test]
+    fn size_bits_counts_header_and_payload() {
+        let group = vec![vec![0u8; 4]; 10];
+        let p = encode_subset(&BitVec::zeros(10), &group);
+        assert_eq!(p.size_bits(), 10 + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn encode_rejects_length_mismatch() {
+        let _ = encode_subset(&BitVec::zeros(2), &[vec![1u8]]);
+    }
+
+    #[test]
+    fn random_encoding_roundtrips_through_decoder() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let group: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i, i ^ 0x5A, 3]).collect();
+        let mut d = Decoder::new(8, 3);
+        for _ in 0..200 {
+            if d.is_complete() {
+                break;
+            }
+            let p = encode_random(&group, &mut rng);
+            d.insert(p.coefficients, p.payload);
+        }
+        assert_eq!(d.decode().unwrap(), group);
+    }
+}

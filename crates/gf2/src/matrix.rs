@@ -1,0 +1,457 @@
+//! Dense GF(2) matrices: rank, row reduction, random sampling.
+//!
+//! This is the machinery behind Lemma 3 of the paper ("a random `l × w`
+//! binary matrix has full column rank with probability ≥ 1 - ε once
+//! `l ≥ 2(w+2) + 8·ln(1/ε)`"), which experiment E6 reproduces by Monte
+//! Carlo over [`BitMatrix::random`].
+
+use rand::Rng;
+
+use crate::bitvec::BitVec;
+
+/// A dense matrix over GF(2), stored as one [`BitVec`] per row.
+///
+/// ```
+/// use gf2::matrix::BitMatrix;
+/// use gf2::bitvec::BitVec;
+///
+/// let m = BitMatrix::from_rows(vec![
+///     BitVec::from_lsb_bits(0b01, 2),
+///     BitVec::from_lsb_bits(0b10, 2),
+///     BitVec::from_lsb_bits(0b11, 2), // dependent on the first two
+/// ]);
+/// assert_eq!(m.rank(), 2);
+/// assert!(m.has_full_column_rank());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<BitVec>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// An `l × w` zero matrix.
+    #[must_use]
+    pub fn zeros(l: usize, w: usize) -> Self {
+        BitMatrix {
+            rows: (0..l).map(|_| BitVec::zeros(w)).collect(),
+            cols: w,
+        }
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths.
+    #[must_use]
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        let cols = rows.first().map_or(0, BitVec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        BitMatrix { rows, cols }
+    }
+
+    /// An `l × w` matrix with i.i.d. uniform entries — the distribution of
+    /// the paper's coding coefficients (each entry 0 or 1 w.p. ½).
+    #[must_use]
+    pub fn random(l: usize, w: usize, rng: &mut impl Rng) -> Self {
+        BitMatrix {
+            rows: (0..l).map(|_| BitVec::random(w, rng)).collect(),
+            cols: w,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn col_count(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// The rank over GF(2), via Gaussian elimination on a scratch copy.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        let mut rows = self.rows.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            // Find a pivot row with a 1 in `col` at or below `rank`.
+            let Some(pivot) = (rank..rows.len()).find(|&r| rows[r].get(col)) else {
+                continue;
+            };
+            rows.swap(rank, pivot);
+            let pivot_row = rows[rank].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_assign(&pivot_row);
+                }
+            }
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// `true` if the columns are linearly independent (`rank == w`), i.e.
+    /// a receiver holding these coefficient rows can decode all `w`
+    /// packets of a group.
+    #[must_use]
+    pub fn has_full_column_rank(&self) -> bool {
+        self.rank() == self.cols
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.cols, self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            for j in row.iter_ones() {
+                t.rows[j].set(i, true);
+            }
+        }
+        t
+    }
+
+    /// The `w × w` identity matrix.
+    #[must_use]
+    pub fn identity(w: usize) -> BitMatrix {
+        BitMatrix::from_rows((0..w).map(|i| BitVec::unit(w, i)).collect())
+    }
+
+    /// Matrix product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    #[must_use]
+    pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.cols,
+            other.rows.len(),
+            "inner dimensions must agree"
+        );
+        let mut out = BitMatrix::zeros(self.rows.len(), other.cols);
+        for (i, row) in self.rows.iter().enumerate() {
+            for j in row.iter_ones() {
+                out.rows[i].xor_assign(&other.rows[j]);
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `A·x` over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.cols, "vector length must equal columns");
+        self.rows
+            .iter()
+            .map(|row| {
+                // Dot product over GF(2) = parity of the AND; walk x's
+                // support.
+                let mut acc = false;
+                for j in x.iter_ones() {
+                    acc ^= row.get(j);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Inverse of a square matrix, if it is invertible
+    /// (Gauss–Jordan on `[A | I]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn invert(&self) -> Option<BitMatrix> {
+        let w = self.cols;
+        assert_eq!(self.rows.len(), w, "inverse requires a square matrix");
+        let mut a = self.rows.clone();
+        let mut inv = BitMatrix::identity(w).rows;
+        for col in 0..w {
+            let pivot = (col..w).find(|&r| a[r].get(col))?;
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            let (arow, irow) = (a[col].clone(), inv[col].clone());
+            for r in 0..w {
+                if r != col && a[r].get(col) {
+                    a[r].xor_assign(&arow);
+                    inv[r].xor_assign(&irow);
+                }
+            }
+        }
+        Some(BitMatrix::from_rows(inv))
+    }
+
+    /// Solves `A·x = b` for square invertible `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    #[must_use]
+    pub fn solve(&self, b: &BitVec) -> Option<BitVec> {
+        assert_eq!(b.len(), self.rows.len(), "rhs length must equal rows");
+        Some(self.invert()?.mul_vec(b))
+    }
+
+    /// Fraction of 1 entries (0 for an empty matrix).
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let cells = self.rows.len() * self.cols;
+        if cells == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.rows.iter().map(BitVec::count_ones).sum::<usize>() as f64 / cells as f64
+        }
+    }
+}
+
+/// The paper's Lemma 3 row-count threshold: with
+/// `l ≥ 2(w+2) + 8·ln(1/ε)` uniform rows, the matrix has full column rank
+/// with probability at least `1 - ε`.
+///
+/// ```
+/// let l = gf2::matrix::lemma3_row_threshold(10, 0.01);
+/// assert!(l >= 24);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not in `(0, 1]`.
+#[must_use]
+pub fn lemma3_row_threshold(w: usize, epsilon: f64) -> usize {
+    assert!(
+        epsilon > 0.0 && epsilon <= 1.0,
+        "epsilon must be in (0, 1], got {epsilon}"
+    );
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let extra = (8.0 * (1.0 / epsilon).ln()).ceil() as usize;
+    2 * (w + 2) + extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_has_full_rank() {
+        let m = BitMatrix::from_rows((0..8).map(|i| BitVec::unit(8, i)).collect());
+        assert_eq!(m.rank(), 8);
+        assert!(m.has_full_column_rank());
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        assert_eq!(BitMatrix::zeros(4, 6).rank(), 0);
+    }
+
+    #[test]
+    fn dependent_rows_reduce_rank() {
+        let a = BitVec::from_lsb_bits(0b101, 3);
+        let b = BitVec::from_lsb_bits(0b011, 3);
+        let mut c = a.clone();
+        c.xor_assign(&b); // c = a + b
+        let m = BitMatrix::from_rows(vec![a, b, c]);
+        assert_eq!(m.rank(), 2);
+        assert!(!m.has_full_column_rank());
+    }
+
+    #[test]
+    fn rank_bounded_by_dimensions() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = BitMatrix::random(5, 9, &mut rng);
+        assert!(m.rank() <= 5);
+        let m = BitMatrix::random(9, 5, &mut rng);
+        assert!(m.rank() <= 5);
+    }
+
+    #[test]
+    fn empty_matrix_edge_cases() {
+        assert_eq!(BitMatrix::zeros(0, 0).rank(), 0);
+        assert!(BitMatrix::zeros(0, 0).has_full_column_rank());
+        assert_eq!(BitMatrix::zeros(3, 0).rank(), 0);
+        assert!(BitMatrix::zeros(3, 0).has_full_column_rank());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_rows_rejects_ragged() {
+        let _ = BitMatrix::from_rows(vec![BitVec::zeros(2), BitVec::zeros(3)]);
+    }
+
+    #[test]
+    fn lemma3_threshold_formula() {
+        // w = 10, eps = 0.01: 2*12 + ceil(8*ln 100) = 24 + 37 = 61.
+        assert_eq!(lemma3_row_threshold(10, 0.01), 61);
+        assert_eq!(lemma3_row_threshold(0, 1.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn lemma3_threshold_rejects_zero_epsilon() {
+        let _ = lemma3_row_threshold(4, 0.0);
+    }
+
+    #[test]
+    fn lemma3_holds_empirically_small() {
+        // Sanity version of experiment E6: at the Lemma 3 threshold for
+        // eps = 0.1, at least 90% of sampled matrices are full rank.
+        let w = 8;
+        let l = lemma3_row_threshold(w, 0.1);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let trials = 200;
+        let full = (0..trials)
+            .filter(|_| BitMatrix::random(l, w, &mut rng).has_full_column_rank())
+            .count();
+        assert!(full >= trials * 9 / 10, "only {full}/{trials} full rank");
+    }
+
+    #[test]
+    fn transpose_involutes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = BitMatrix::random(6, 9, &mut rng);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().row_count(), 9);
+        assert_eq!(m.transpose().col_count(), 6);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let m = BitMatrix::random(5, 5, &mut rng);
+        let i = BitMatrix::identity(5);
+        assert_eq!(m.mul(&i), m);
+        assert_eq!(i.mul(&m), m);
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Find an invertible 8x8 (a random one is with prob ~0.29).
+        let m = loop {
+            let m = BitMatrix::random(8, 8, &mut rng);
+            if m.has_full_column_rank() {
+                break m;
+            }
+        };
+        let inv = m.invert().expect("full rank is invertible");
+        assert_eq!(m.mul(&inv), BitMatrix::identity(8));
+        assert_eq!(inv.mul(&m), BitMatrix::identity(8));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = BitMatrix::zeros(4, 4);
+        assert_eq!(m.invert(), None);
+        assert_eq!(m.solve(&BitVec::zeros(4)), None);
+    }
+
+    #[test]
+    fn solve_recovers_x() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let m = loop {
+            let m = BitMatrix::random(6, 6, &mut rng);
+            if m.has_full_column_rank() {
+                break m;
+            }
+        };
+        let x = BitVec::random(6, &mut rng);
+        let b = m.mul_vec(&x);
+        assert_eq!(m.solve(&b), Some(x));
+    }
+
+    #[test]
+    fn density_of_random_near_half() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let m = BitMatrix::random(64, 64, &mut rng);
+        let d = m.density();
+        assert!((0.4..0.6).contains(&d), "density {d}");
+        assert_eq!(BitMatrix::zeros(3, 3).density(), 0.0);
+        assert_eq!(BitMatrix::zeros(0, 0).density(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_associative(seed in any::<u64>(), a in 1usize..6, b in 1usize..6, c in 1usize..6, d in 1usize..6) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m1 = BitMatrix::random(a, b, &mut rng);
+            let m2 = BitMatrix::random(b, c, &mut rng);
+            let m3 = BitMatrix::random(c, d, &mut rng);
+            prop_assert_eq!(m1.mul(&m2).mul(&m3), m1.mul(&m2.mul(&m3)));
+        }
+
+        #[test]
+        fn prop_transpose_of_product(seed in any::<u64>(), a in 1usize..6, b in 1usize..6, c in 1usize..6) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m1 = BitMatrix::random(a, b, &mut rng);
+            let m2 = BitMatrix::random(b, c, &mut rng);
+            // (AB)^T = B^T A^T
+            prop_assert_eq!(m1.mul(&m2).transpose(), m2.transpose().mul(&m1.transpose()));
+        }
+
+        #[test]
+        fn prop_rank_invariant_under_transpose(seed in any::<u64>(), l in 1usize..10, w in 1usize..10) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = BitMatrix::random(l, w, &mut rng);
+            prop_assert_eq!(m.rank(), m.transpose().rank());
+        }
+
+        #[test]
+        fn prop_rank_invariant_under_row_shuffle(seed in any::<u64>(), l in 1usize..12, w in 1usize..12) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = BitMatrix::random(l, w, &mut rng);
+            let mut rows = m.rows.clone();
+            rows.reverse();
+            let shuffled = BitMatrix::from_rows(rows);
+            prop_assert_eq!(m.rank(), shuffled.rank());
+        }
+
+        #[test]
+        fn prop_adding_dependent_row_keeps_rank(seed in any::<u64>(), l in 2usize..10, w in 1usize..10) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = BitMatrix::random(l, w, &mut rng);
+            let mut extra = m.row(0).clone();
+            extra.xor_assign(m.row(1));
+            let mut rows = m.rows.clone();
+            rows.push(extra);
+            prop_assert_eq!(BitMatrix::from_rows(rows).rank(), m.rank());
+        }
+
+        #[test]
+        fn prop_rank_monotone_in_rows(seed in any::<u64>(), l in 1usize..12, w in 1usize..12) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = BitMatrix::random(l, w, &mut rng);
+            let prefix = BitMatrix::from_rows(m.rows[..l / 2].to_vec());
+            prop_assert!(prefix.rank() <= m.rank());
+        }
+    }
+}

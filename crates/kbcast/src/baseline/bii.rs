@@ -1,0 +1,306 @@
+//! The Bar-Yehuda–Israeli–Itai (BII) multiple-message broadcast
+//! baseline.
+//!
+//! Reconstruction faithful in spirit to SICOMP 22(4):875–887 (1993), the
+//! algorithm the paper improves on: there is no leader, no tree and no
+//! coding — every packet is flooded epidemically, and nodes time-share
+//! the channel between the packets they know. Time is divided into Decay
+//! epochs; in each epoch a node picks the oldest packet it has not yet
+//! transmitted for `epochs_per_packet = Θ(log n)` epochs and transmits it
+//! with the Decay schedule. Every packet behaves like a BGI broadcast
+//! pipelined with the others, giving completion in
+//! `O((k + D)·log n·logΔ)` rounds — i.e. **amortized `O(log n·logΔ)`
+//! rounds per packet**, the bound the coded algorithm beats by the
+//! `log n` factor (experiment E1).
+
+use std::collections::HashSet;
+
+use protocols::decay::Decay;
+use protocols::timing::{epoch_len, log_n};
+use radio_net::engine::{Engine, Node};
+use radio_net::graph::NodeId;
+use radio_net::message::MessageSize;
+use radio_net::rng;
+use radio_net::stats::SimStats;
+use radio_net::topology::Topology;
+use rand::rngs::SmallRng;
+
+use crate::packet::{Packet, PacketKey};
+use crate::runner::Workload;
+
+impl MessageSize for Packet {
+    fn size_bits(&self) -> usize {
+        Packet::size_bits(self)
+    }
+}
+
+/// Parameters of the BII baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BiiConfig {
+    /// Epochs each node spends transmitting each packet (`c·log n`).
+    pub epochs_per_packet: usize,
+    /// Maximum-degree bound Δ.
+    pub delta_bound: usize,
+}
+
+impl BiiConfig {
+    /// Defaults for a network with the given parameters: `6·log n`
+    /// epochs per packet, tripled on low-degree networks (Δ ≤ 4, where a
+    /// Decay epoch is 1-2 rounds and the probability of receiving one
+    /// *specific* neighbor's packet while the neighborhood is busy drops
+    /// to ~1/8 per epoch). Calibrated, like the main algorithm, to the
+    /// smallest all-seeds-succeed budget (see EXPERIMENTS.md).
+    #[must_use]
+    pub fn for_network(n: usize, max_degree: usize) -> Self {
+        let delta_bound = max_degree.max(1);
+        let low_degree_boost = if epoch_len(delta_bound) < 3 { 3 } else { 1 };
+        BiiConfig {
+            epochs_per_packet: 6 * log_n(n.max(2)) * low_degree_boost,
+            delta_bound,
+        }
+    }
+}
+
+/// One node of the BII baseline.
+#[derive(Debug)]
+pub struct BiiNode {
+    cfg: BiiConfig,
+    rng: SmallRng,
+    decay: Decay,
+    known: Vec<Packet>,
+    known_keys: HashSet<PacketKey>,
+    /// `epochs_done[i]` = epochs spent transmitting `known[i]`.
+    epochs_done: Vec<usize>,
+    /// Index into `known` being transmitted this epoch.
+    current: Option<usize>,
+    last_epoch: Option<u64>,
+}
+
+impl BiiNode {
+    /// Creates a node initially holding `packets`.
+    #[must_use]
+    pub fn new(cfg: BiiConfig, packets: Vec<Packet>, rng: SmallRng) -> Self {
+        let known_keys = packets.iter().map(|p| p.key).collect();
+        let epochs_done = vec![0; packets.len()];
+        BiiNode {
+            cfg,
+            rng,
+            decay: Decay::new(cfg.delta_bound),
+            known: packets,
+            known_keys,
+            epochs_done,
+            current: None,
+            last_epoch: None,
+        }
+    }
+
+    /// Packets this node knows so far.
+    #[must_use]
+    pub fn known(&self) -> &[Packet] {
+        &self.known
+    }
+
+    /// Number of distinct packets known.
+    #[must_use]
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    fn begin_epoch(&mut self, epoch: u64) {
+        if self.last_epoch == Some(epoch) {
+            return;
+        }
+        // Credit the epoch just finished.
+        if self.last_epoch.is_some() {
+            if let Some(cur) = self.current {
+                self.epochs_done[cur] += 1;
+            }
+        }
+        self.last_epoch = Some(epoch);
+        // Oldest packet still under its transmission budget (FIFO in
+        // first-seen order — the pipelining discipline).
+        self.current = (0..self.known.len()).find(|&i| self.epochs_done[i] < self.cfg.epochs_per_packet);
+    }
+}
+
+impl Node for BiiNode {
+    type Msg = Packet;
+
+    fn poll(&mut self, round: u64) -> Option<Packet> {
+        let epoch = self.decay.epoch_of(round);
+        self.begin_epoch(epoch);
+        let cur = self.current?;
+        self.decay
+            .should_transmit(round, &mut self.rng)
+            .then(|| self.known[cur].clone())
+    }
+
+    fn receive(&mut self, _round: u64, msg: &Packet) {
+        if self.known_keys.insert(msg.key) {
+            self.known.push(msg.clone());
+            self.epochs_done.push(0);
+        }
+    }
+}
+
+/// Result of one BII baseline run.
+#[derive(Clone, Debug)]
+pub struct BiiReport {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of packets.
+    pub k: usize,
+    /// Whether every node received every packet within the cap.
+    pub success: bool,
+    /// Rounds until the last node had everything (or the cap).
+    pub rounds_total: u64,
+    /// Channel statistics.
+    pub stats: SimStats,
+}
+
+impl BiiReport {
+    /// Amortized rounds per packet.
+    #[must_use]
+    pub fn amortized_rounds_per_packet(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.rounds_total as f64 / self.k.max(1) as f64
+        }
+    }
+}
+
+/// Runs the BII baseline on `topology` with `workload` (same interface
+/// as [`crate::runner::run`], for side-by-side comparisons).
+///
+/// # Errors
+///
+/// Propagates topology-generation failures.
+///
+/// # Panics
+///
+/// Panics if the workload's node count differs from the topology's.
+pub fn run_bii(
+    topology: &Topology,
+    workload: &Workload,
+    config: Option<BiiConfig>,
+    seed: u64,
+) -> Result<BiiReport, radio_net::error::Error> {
+    let graph = topology.build(seed)?;
+    let n = graph.len();
+    assert_eq!(workload.len(), n, "workload/topology node count mismatch");
+    let k = workload.k();
+    let cfg = config.unwrap_or_else(|| BiiConfig::for_network(n, graph.max_degree()));
+    if k == 0 {
+        return Ok(BiiReport {
+            n,
+            k,
+            success: true,
+            rounds_total: 0,
+            stats: SimStats::new(),
+        });
+    }
+    let d = graph.diameter().unwrap_or(0);
+    let nodes: Vec<BiiNode> = (0..n)
+        .map(|i| BiiNode::new(cfg, workload.packets_of(i), rng::stream(seed, i as u64)))
+        .collect();
+    let awake: Vec<NodeId> = (0..n)
+        .filter(|&i| !workload.packets_of(i).is_empty())
+        .map(NodeId::new)
+        .collect();
+    let mut engine = Engine::new(graph, nodes, awake)?;
+    // Cap: 8x the expected (k + D) · epochs_per_packet · |epoch| budget.
+    let epoch = Decay::new(cfg.delta_bound).epoch_len() as u64;
+    let cap = 8 * ((k as u64 + d as u64 + 2) * cfg.epochs_per_packet as u64 * epoch) + 64;
+    let success = engine.run_until(cap, |e| e.nodes().iter().all(|nd| nd.known_count() == k));
+    Ok(BiiReport {
+        n,
+        k,
+        success,
+        rounds_total: engine.round(),
+        stats: *engine.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_on_path() {
+        for seed in 0..3 {
+            let r = run_bii(
+                &Topology::Path { n: 12 },
+                &Workload::single_source(12, 0, 5),
+                None,
+                seed,
+            )
+            .unwrap();
+            assert!(r.success, "seed {seed}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn delivers_spread_workload_on_gnp() {
+        for seed in 0..3 {
+            let r = run_bii(
+                &Topology::Gnp { n: 25, p: 0.2 },
+                &Workload::round_robin(25, 12),
+                None,
+                seed,
+            )
+            .unwrap();
+            assert!(r.success, "seed {seed}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn zero_packets_trivial() {
+        let r = run_bii(
+            &Topology::Path { n: 4 },
+            &Workload::new(vec![Vec::new(); 4]),
+            None,
+            0,
+        )
+        .unwrap();
+        assert!(r.success);
+        assert_eq!(r.rounds_total, 0);
+    }
+
+    #[test]
+    fn node_tracks_transmission_budget() {
+        let cfg = BiiConfig {
+            epochs_per_packet: 2,
+            delta_bound: 2,
+        };
+        let p = Packet::new(0, 0, vec![1]);
+        let mut node = BiiNode::new(cfg, vec![p], rng::stream(0, 0));
+        // Run enough rounds to exhaust the budget; afterwards the node
+        // must go silent.
+        let epoch = Decay::new(2).epoch_len() as u64;
+        let mut transmissions = 0;
+        for round in 0..(10 * epoch) {
+            if Node::poll(&mut node, round).is_some() {
+                transmissions += 1;
+            }
+        }
+        assert!(transmissions >= 1);
+        // Budget: at most epochs_per_packet epochs of (at most 1/round).
+        assert!(transmissions <= cfg.epochs_per_packet as u64 * epoch);
+    }
+
+    #[test]
+    fn late_packets_still_get_their_budget() {
+        let cfg = BiiConfig {
+            epochs_per_packet: 1,
+            delta_bound: 2,
+        };
+        let mut node = BiiNode::new(cfg, vec![], rng::stream(1, 1));
+        assert_eq!(Node::poll(&mut node, 0), None);
+        let p = Packet::new(2, 0, vec![9]);
+        Node::receive(&mut node, 0, &p);
+        assert_eq!(node.known_count(), 1);
+        // Duplicate reception ignored.
+        Node::receive(&mut node, 1, &p);
+        assert_eq!(node.known_count(), 1);
+    }
+}

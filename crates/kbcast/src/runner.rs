@@ -1,0 +1,460 @@
+//! End-to-end execution harness: build a network, place packets, run the
+//! protocol, verify delivery and report round counts.
+
+use radio_net::engine::Engine;
+use radio_net::graph::NodeId;
+use radio_net::rng;
+use radio_net::stats::SimStats;
+use radio_net::topology::Topology;
+
+use crate::config::Config;
+use crate::node::{KbcastNode, TxCounts};
+use crate::packet::Packet;
+use crate::stage3::schedule;
+
+/// Where the `k` packets initially live: `payloads[i]` is the list of
+/// packet payloads held by node `i` at round 0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Workload {
+    payloads: Vec<Vec<Vec<u8>>>,
+}
+
+impl Workload {
+    /// A workload from explicit per-node payload lists.
+    #[must_use]
+    pub fn new(payloads: Vec<Vec<Vec<u8>>>) -> Self {
+        Workload { payloads }
+    }
+
+    /// All `k` packets at one node (`source`), with small distinct
+    /// payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= n`.
+    #[must_use]
+    pub fn single_source(n: usize, source: usize, k: usize) -> Self {
+        assert!(source < n, "source {source} out of range for n = {n}");
+        let mut payloads = vec![Vec::new(); n];
+        payloads[source] = (0..k).map(|i| (i as u32).to_le_bytes().to_vec()).collect();
+        Workload { payloads }
+    }
+
+    /// `k` packets spread over the nodes round-robin (packet `i` at node
+    /// `i % n`).
+    #[must_use]
+    pub fn round_robin(n: usize, k: usize) -> Self {
+        let mut payloads = vec![Vec::new(); n];
+        for i in 0..k {
+            payloads[i % n].push((i as u32).to_le_bytes().to_vec());
+        }
+        Workload { payloads }
+    }
+
+    /// `k` packets at uniformly random nodes (seeded).
+    #[must_use]
+    pub fn random(n: usize, k: usize, seed: u64) -> Self {
+        use rand::Rng;
+        let mut r = rng::stream(seed, rng::salts::WORKLOAD);
+        let mut payloads = vec![Vec::new(); n];
+        for i in 0..k {
+            let node = r.gen_range(0..n);
+            payloads[node].push((i as u32).to_le_bytes().to_vec());
+        }
+        Workload { payloads }
+    }
+
+    /// Total packet count `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.payloads.iter().map(Vec::len).sum()
+    }
+
+    /// Number of nodes this workload is shaped for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// `true` if the workload covers zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// The packets of node `i`.
+    #[must_use]
+    pub fn packets_of(&self, i: usize) -> Vec<Packet> {
+        self.payloads[i]
+            .iter()
+            .enumerate()
+            .map(|(s, p)| Packet::new(i as u64, s as u32, p.clone()))
+            .collect()
+    }
+}
+
+/// Per-stage round counts, measured at the root.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageRounds {
+    /// Stage 1 (leader election) — fixed by the configuration.
+    pub leader: u64,
+    /// Stage 2 (BFS) — fixed by the configuration.
+    pub bfs: u64,
+    /// Stage 3 (collection) — until the first alarm-free phase ended.
+    pub collect: u64,
+    /// Stage 4 (dissemination) — until the last node decoded everything.
+    pub disseminate: u64,
+}
+
+/// Result of one end-to-end run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of packets.
+    pub k: usize,
+    /// True diameter of the generated topology.
+    pub diameter: usize,
+    /// True maximum degree of the generated topology.
+    pub max_degree: usize,
+    /// Whether every node ended up holding every packet.
+    pub success: bool,
+    /// Rounds until the last node held everything (or the cap).
+    pub rounds_total: u64,
+    /// Per-stage breakdown (valid when `success`).
+    pub stages: StageRounds,
+    /// Collection phases executed by the root (doublings of the
+    /// `k`-estimate).
+    pub collection_phases: u32,
+    /// Average fraction of packets delivered per node (1.0 on success).
+    pub delivered_fraction: f64,
+    /// Channel statistics from the engine.
+    pub stats: SimStats,
+    /// Transmissions by message type, summed over all nodes.
+    pub tx_by_type: TxCounts,
+}
+
+impl RunReport {
+    /// Amortized rounds per packet — the paper's headline metric
+    /// (`O(logΔ)` for this algorithm, `O(log n·logΔ)` for BII).
+    #[must_use]
+    pub fn amortized_rounds_per_packet(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.rounds_total as f64 / self.k.max(1) as f64
+        }
+    }
+}
+
+/// Optional knobs for a run beyond the protocol configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunOptions {
+    /// Channel-noise injection: each successful reception is dropped
+    /// independently with this probability (0 = the paper's clean
+    /// model). See `radio_net::Engine::set_loss`.
+    pub loss_rate: f64,
+    /// Override the default round cap (None = the formula in
+    /// [`round_cap`]).
+    pub max_rounds: Option<u64>,
+}
+
+/// A conservative round cap for a run: twice the sum of the scheduled
+/// stage lengths with the estimate grown past `4k`.
+#[must_use]
+pub fn round_cap(cfg: &Config, k: usize) -> u64 {
+    let s12 = cfg.stage3_start();
+    // Stage 3: phases until the estimate exceeds 4k (plus two slack
+    // phases).
+    let mut phases = 2u32;
+    while schedule::estimate_for_phase(phases, cfg) < 4 * k.max(1) {
+        phases += 1;
+    }
+    let s3 = schedule::phase_start(phases + 1, cfg);
+    // Stage 4 for k packets.
+    let g = k.div_ceil(cfg.group_size()).max(1) as u64;
+    let s4 = (cfg.group_spacing * g + cfg.d_bound as u64 + 1) * cfg.forward_phase_rounds();
+    2 * (s12 + s3 + s4) + 64
+}
+
+/// Runs the full four-stage protocol on `topology` with `workload`.
+///
+/// `config` overrides the defaults from [`Config::for_network`] (which
+/// uses the generated graph's true `n`, `D`, `Δ`). The run is fully
+/// deterministic in `seed`.
+///
+/// ```
+/// use kbcast::runner::{run, Workload};
+/// use radio_net::topology::Topology;
+///
+/// # fn main() -> Result<(), radio_net::error::Error> {
+/// let report = run(
+///     &Topology::Grid2d { rows: 3, cols: 3 },
+///     &Workload::single_source(9, 4, 5),
+///     None,
+///     7,
+/// )?;
+/// assert!(report.success);
+/// assert_eq!(report.k, 5);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates topology-generation failures.
+///
+/// # Panics
+///
+/// Panics if the workload's node count differs from the topology's.
+pub fn run(
+    topology: &Topology,
+    workload: &Workload,
+    config: Option<Config>,
+    seed: u64,
+) -> Result<RunReport, radio_net::error::Error> {
+    run_with_options(topology, workload, config, seed, RunOptions::default())
+}
+
+/// [`run`] with extra harness knobs (noise injection, round-cap
+/// override).
+///
+/// # Errors
+///
+/// Propagates topology-generation failures and invalid options.
+///
+/// # Panics
+///
+/// Panics if the workload's node count differs from the topology's.
+pub fn run_with_options(
+    topology: &Topology,
+    workload: &Workload,
+    config: Option<Config>,
+    seed: u64,
+    options: RunOptions,
+) -> Result<RunReport, radio_net::error::Error> {
+    let graph = topology.build(seed)?;
+    let n = graph.len();
+    assert_eq!(
+        workload.len(),
+        n,
+        "workload shaped for {} nodes, topology has {n}",
+        workload.len()
+    );
+    let diameter = graph.diameter().unwrap_or(0);
+    let max_degree = graph.max_degree();
+    let cfg = config.unwrap_or_else(|| Config::for_network(n, diameter, max_degree));
+    let k = workload.k();
+
+    let mut expected: Vec<Packet> = (0..n).flat_map(|i| workload.packets_of(i)).collect();
+    expected.sort_by_key(|p| p.key);
+
+    if k == 0 {
+        // Nothing to broadcast: the protocol never starts (no node wakes).
+        return Ok(RunReport {
+            n,
+            k,
+            diameter,
+            max_degree,
+            success: true,
+            rounds_total: 0,
+            stages: StageRounds::default(),
+            collection_phases: 0,
+            delivered_fraction: 1.0,
+            stats: SimStats::new(),
+            tx_by_type: TxCounts::default(),
+        });
+    }
+
+    let nodes: Vec<KbcastNode> = (0..n)
+        .map(|i| {
+            KbcastNode::new(
+                cfg,
+                i as u64,
+                workload.packets_of(i),
+                rng::stream(seed, i as u64),
+            )
+        })
+        .collect();
+    let awake: Vec<NodeId> = (0..n)
+        .filter(|&i| !workload.packets_of(i).is_empty())
+        .map(NodeId::new)
+        .collect();
+    let mut engine = Engine::new(graph, nodes, awake)?;
+    if options.loss_rate > 0.0 {
+        engine.set_loss(options.loss_rate, seed)?;
+    }
+    let cap = options.max_rounds.unwrap_or_else(|| round_cap(&cfg, k));
+    let all_done = engine.run_until_all_done(cap);
+    let rounds_total = engine.round();
+
+    // Verify delivery against the ground-truth packet set.
+    let mut delivered_sum = 0.0f64;
+    let mut success = all_done;
+    for node in engine.nodes() {
+        let mut got = node.packets();
+        got.sort_by_key(|p| p.key);
+        got.dedup();
+        #[allow(clippy::cast_precision_loss)]
+        {
+            delivered_sum +=
+                got.iter().filter(|p| expected.binary_search_by_key(&p.key, |e| e.key).is_ok()).count() as f64
+                    / k as f64;
+        }
+        if got != expected {
+            success = false;
+        }
+    }
+
+    // Stage breakdown from the root's perspective.
+    let root = engine.nodes().iter().find(|nd| nd.is_root());
+    let (stages, collection_phases) = match root {
+        Some(r) => {
+            let collect = r.collection_finished_at().unwrap_or(0);
+            let s123 = cfg.stage3_start() + collect;
+            (
+                StageRounds {
+                    leader: cfg.stage1_rounds(),
+                    bfs: cfg.stage2_rounds(),
+                    collect,
+                    disseminate: rounds_total.saturating_sub(s123),
+                },
+                r.collection_phase().unwrap_or(0),
+            )
+        }
+        None => (StageRounds::default(), 0),
+    };
+
+    let mut tx_by_type = TxCounts::default();
+    for node in engine.nodes() {
+        tx_by_type.add(&node.tx_counts());
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    Ok(RunReport {
+        n,
+        k,
+        diameter,
+        max_degree,
+        success,
+        rounds_total,
+        stages,
+        collection_phases,
+        delivered_fraction: delivered_sum / n as f64,
+        stats: *engine.stats(),
+        tx_by_type,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_constructors() {
+        let w = Workload::single_source(5, 2, 4);
+        assert_eq!(w.k(), 4);
+        assert_eq!(w.packets_of(2).len(), 4);
+        assert!(w.packets_of(0).is_empty());
+
+        let w = Workload::round_robin(3, 7);
+        assert_eq!(w.k(), 7);
+        assert_eq!(w.packets_of(0).len(), 3);
+        assert_eq!(w.packets_of(1).len(), 2);
+
+        let w = Workload::random(10, 20, 1);
+        assert_eq!(w.k(), 20);
+        assert_eq!(w, Workload::random(10, 20, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_source_validates() {
+        let _ = Workload::single_source(3, 3, 1);
+    }
+
+    #[test]
+    fn zero_packets_is_trivial_success() {
+        let r = run(
+            &Topology::Path { n: 5 },
+            &Workload::new(vec![Vec::new(); 5]),
+            None,
+            0,
+        )
+        .unwrap();
+        assert!(r.success);
+        assert_eq!(r.rounds_total, 0);
+    }
+
+    #[test]
+    fn end_to_end_tiny_path() {
+        let r = run(
+            &Topology::Path { n: 6 },
+            &Workload::single_source(6, 5, 3),
+            None,
+            1,
+        )
+        .unwrap();
+        assert!(r.success, "report: {r:?}");
+        assert_eq!(r.k, 3);
+        assert!((r.delivered_fraction - 1.0).abs() < 1e-9);
+        assert_eq!(
+            r.stages.leader + r.stages.bfs + r.stages.collect + r.stages.disseminate,
+            r.rounds_total
+        );
+    }
+
+    #[test]
+    fn end_to_end_spread_workload_on_grid() {
+        let r = run(
+            &Topology::Grid2d { rows: 4, cols: 4 },
+            &Workload::round_robin(16, 10),
+            None,
+            2,
+        )
+        .unwrap();
+        assert!(r.success, "report: {r:?}");
+        assert!(r.collection_phases <= 3);
+    }
+
+    #[test]
+    fn single_node_network() {
+        let r = run(
+            &Topology::Path { n: 1 },
+            &Workload::single_source(1, 0, 2),
+            None,
+            0,
+        )
+        .unwrap();
+        assert!(r.success, "report: {r:?}");
+    }
+
+    #[test]
+    fn two_node_network() {
+        let r = run(
+            &Topology::Path { n: 2 },
+            &Workload::round_robin(2, 3),
+            None,
+            4,
+        )
+        .unwrap();
+        assert!(r.success, "report: {r:?}");
+    }
+
+    #[test]
+    fn amortized_metric_uses_total_rounds() {
+        let r = RunReport {
+            n: 1,
+            k: 10,
+            diameter: 1,
+            max_degree: 1,
+            success: true,
+            rounds_total: 50,
+            stages: StageRounds::default(),
+            collection_phases: 0,
+            delivered_fraction: 1.0,
+            stats: SimStats::new(),
+            tx_by_type: TxCounts::default(),
+        };
+        assert!((r.amortized_rounds_per_packet() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,532 @@
+//! The per-node dissemination state machine (`FORWARD` + decoding).
+
+use std::collections::HashMap;
+
+use gf2::bitvec::BitVec;
+use gf2::decoder::Decoder;
+use protocols::decay::Decay;
+use rand::Rng;
+
+use crate::config::Config;
+use crate::messages::{CodedMsg, Msg};
+use crate::packet::Packet;
+
+/// Per-group wire metadata (also learned from message headers by
+/// non-root nodes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct GroupMeta {
+    size: usize,
+    payload_len: usize,
+}
+
+/// A group being received: the online decoder plus, once complete, the
+/// decoded member blobs ready for re-coding.
+#[derive(Clone, Debug)]
+struct GroupRx {
+    meta: GroupMeta,
+    decoder: Decoder,
+    ready: Option<Vec<Vec<u8>>>,
+}
+
+/// Per-node state of the dissemination stage. Drive with `poll`/`deliver`
+/// using stage-local rounds.
+#[derive(Clone, Debug)]
+pub struct DissemState {
+    cfg: Config,
+    dist: Option<u32>,
+    is_root: bool,
+
+    // Root: original packets and the serialized, padded groups.
+    root_packets: Vec<Packet>,
+    groups: Vec<Vec<Vec<u8>>>,
+
+    // Everyone: totals (root knows; others learn from headers).
+    k: Option<u32>,
+    g: Option<u32>,
+
+    rx: HashMap<u32, GroupRx>,
+    decay: Decay,
+    /// Batch tag — 0 for the static problem; see [`crate::dynamic`].
+    batch: u32,
+}
+
+impl DissemState {
+    /// Root constructor: takes the packets collected in Stage 3, in their
+    /// canonical order, and builds the coded groups.
+    #[must_use]
+    pub fn new_root(cfg: Config, packets: Vec<Packet>) -> Self {
+        Self::new_root_in_batch(cfg, packets, 0)
+    }
+
+    /// Root constructor tagged with a batch index (the dynamic-arrival
+    /// extension runs one dissemination per batch; rows from different
+    /// batches must never mix).
+    #[must_use]
+    pub fn new_root_in_batch(cfg: Config, packets: Vec<Packet>, batch: u32) -> Self {
+        let m = cfg.group_size();
+        let k = packets.len();
+        let groups: Vec<Vec<Vec<u8>>> = packets
+            .chunks(m)
+            .map(|chunk| {
+                let blobs: Vec<Vec<u8>> = chunk.iter().map(Packet::to_bytes).collect();
+                let len = blobs.iter().map(Vec::len).max().unwrap_or(0);
+                blobs
+                    .into_iter()
+                    .map(|mut b| {
+                        b.resize(len, 0);
+                        b
+                    })
+                    .collect()
+            })
+            .collect();
+        DissemState {
+            cfg,
+            dist: Some(0),
+            is_root: true,
+            root_packets: packets,
+            g: Some(u32::try_from(groups.len()).expect("group count fits u32")),
+            k: Some(u32::try_from(k).expect("k fits u32")),
+            groups,
+            rx: HashMap::new(),
+            decay: Decay::new(cfg.delta_bound),
+            batch,
+        }
+    }
+
+    /// Non-root constructor; `dist` is the node's BFS distance (ring), if
+    /// it was labeled in Stage 2 (unlabeled nodes decode but never
+    /// forward).
+    #[must_use]
+    pub fn new_node(cfg: Config, dist: Option<u32>) -> Self {
+        Self::new_node_in_batch(cfg, dist, 0)
+    }
+
+    /// Non-root constructor tagged with a batch index; coded messages
+    /// from other batches are ignored.
+    #[must_use]
+    pub fn new_node_in_batch(cfg: Config, dist: Option<u32>, batch: u32) -> Self {
+        DissemState {
+            cfg,
+            dist,
+            is_root: false,
+            root_packets: Vec::new(),
+            groups: Vec::new(),
+            k: None,
+            g: None,
+            rx: HashMap::new(),
+            decay: Decay::new(cfg.delta_bound),
+            batch,
+        }
+    }
+
+    /// Total packet count, once known.
+    #[must_use]
+    pub fn k(&self) -> Option<u32> {
+        self.k
+    }
+
+    /// Group count, once known.
+    #[must_use]
+    pub fn num_groups(&self) -> Option<u32> {
+        self.g
+    }
+
+    /// Number of Stage 4 phases: group `j` spans phases
+    /// `3j .. 3j + d_bound`, so the stage runs `3(g-1) + max(D, 1)`
+    /// phases. `None` until `g` is known.
+    #[must_use]
+    pub fn total_phases(&self) -> Option<u64> {
+        let g = u64::from(self.g?);
+        Some(if g == 0 {
+            0
+        } else {
+            self.cfg.group_spacing * (g - 1) + self.cfg.d_bound.max(1) as u64
+        })
+    }
+
+    /// Stage length in rounds, once `g` is known.
+    #[must_use]
+    pub fn total_rounds(&self) -> Option<u64> {
+        Some(self.total_phases()? * self.cfg.forward_phase_rounds())
+    }
+
+    /// `true` once this node holds all `k` packets (the root trivially
+    /// does; a non-root node once every group is decoded — which requires
+    /// having learned `g` from some header).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        if self.is_root {
+            return true;
+        }
+        match self.g {
+            Some(g) => (0..g).all(|j| self.rx.get(&j).is_some_and(|rx| rx.ready.is_some())),
+            None => false,
+        }
+    }
+
+    /// All packets this node holds, in the root's canonical order
+    /// (complete iff [`DissemState::is_complete`]).
+    #[must_use]
+    pub fn packets(&self) -> Vec<Packet> {
+        if self.is_root {
+            return self.root_packets.clone();
+        }
+        let Some(g) = self.g else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for j in 0..g {
+            if let Some(rx) = self.rx.get(&j) {
+                if let Some(ready) = &rx.ready {
+                    out.extend(ready.iter().filter_map(|b| Packet::from_bytes(b)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transmit decision at stage-local round `local`.
+    pub fn poll(&mut self, local: u64, rng: &mut impl Rng) -> Option<Msg> {
+        let phase_len = self.cfg.forward_phase_rounds();
+        let phase = local / phase_len;
+        let within = local % phase_len;
+        if self.is_root {
+            self.poll_root(phase, within)
+        } else {
+            self.poll_ring(phase, within, rng)
+        }
+    }
+
+    fn poll_root(&mut self, phase: u64, within: u64) -> Option<Msg> {
+        let g = u64::from(self.g?);
+        if !phase.is_multiple_of(self.cfg.group_spacing) {
+            return None;
+        }
+        let j = phase / self.cfg.group_spacing;
+        if j >= g {
+            return None;
+        }
+        let group = &self.groups[usize::try_from(j).expect("group index fits")];
+        let i = usize::try_from(within).expect("round fits usize");
+        if i >= group.len() {
+            return None;
+        }
+        // Raw member `i`, encoded as the unit combination.
+        Some(self.coded_msg(
+            u32::try_from(j).expect("fits"),
+            BitVec::unit(group.len(), i),
+            group[i].clone(),
+            group.len(),
+            group.first().map_or(0, Vec::len),
+        ))
+    }
+
+    fn poll_ring(&mut self, phase: u64, within: u64, rng: &mut impl Rng) -> Option<Msg> {
+        let d = u64::from(self.dist?);
+        let g = u64::from(self.g?);
+        if d == 0 || phase < d || !(phase - d).is_multiple_of(self.cfg.group_spacing) {
+            return None;
+        }
+        let j = (phase - d) / self.cfg.group_spacing;
+        if j >= g {
+            return None;
+        }
+        let jj = u32::try_from(j).expect("fits");
+        let rx = self.rx.get(&jj)?;
+        let members = rx.ready.as_ref()?;
+        if !self.decay.should_transmit(within, rng) {
+            return None;
+        }
+        // Fresh random combination (the heart of FORWARD). The all-zero
+        // selection is excluded — it carries no information (see
+        // `BitVec::random_nonzero`); with the paper's group size this
+        // changes the distribution by 2^-⌈log n⌉ ≤ 1/n per draw.
+        let coeffs = BitVec::random_nonzero(members.len(), rng);
+        let mut payload = vec![0u8; rx.meta.payload_len];
+        for i in coeffs.iter_ones() {
+            for (a, b) in payload.iter_mut().zip(&members[i]) {
+                *a ^= b;
+            }
+        }
+        let (size, len) = (rx.meta.size, rx.meta.payload_len);
+        Some(self.coded_msg(jj, coeffs, payload, size, len))
+    }
+
+    fn coded_msg(
+        &self,
+        group: u32,
+        coeffs: BitVec,
+        payload: Vec<u8>,
+        group_size: usize,
+        payload_len: usize,
+    ) -> Msg {
+        Msg::Coded(CodedMsg {
+            batch: self.batch,
+            group,
+            num_groups: self.g.expect("sender knows g"),
+            k: self.k.expect("sender knows k"),
+            group_size: u16::try_from(group_size).expect("group size fits u16"),
+            payload_len: u16::try_from(payload_len).expect("payload len fits u16"),
+            coeffs,
+            payload,
+        })
+    }
+
+    /// Handles a received coded message (time-independent: decoding does
+    /// not care which phase the row arrived in). Rows from other batches
+    /// are ignored.
+    pub fn deliver(&mut self, msg: &CodedMsg) {
+        if self.is_root || msg.batch != self.batch {
+            return;
+        }
+        self.g.get_or_insert(msg.num_groups);
+        self.k.get_or_insert(msg.k);
+        let meta = GroupMeta {
+            size: msg.group_size as usize,
+            payload_len: msg.payload_len as usize,
+        };
+        let rx = self.rx.entry(msg.group).or_insert_with(|| GroupRx {
+            meta,
+            decoder: Decoder::new(meta.size, meta.payload_len),
+            ready: None,
+        });
+        if rx.ready.is_some() || msg.coeffs.len() != rx.meta.size {
+            return; // already decoded, or malformed row
+        }
+        rx.decoder.insert(msg.coeffs.clone(), msg.payload.clone());
+        if rx.decoder.is_complete() {
+            rx.ready = rx.decoder.decode();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_net::engine::{Engine, Node};
+    use radio_net::graph::NodeId;
+    use radio_net::rng;
+    use radio_net::topology::Topology;
+    use rand::rngs::SmallRng;
+
+    struct DissemNode {
+        st: DissemState,
+        rng: SmallRng,
+    }
+
+    impl Node for DissemNode {
+        type Msg = Msg;
+        fn poll(&mut self, round: u64) -> Option<Msg> {
+            self.st.poll(round, &mut self.rng)
+        }
+        fn receive(&mut self, _round: u64, msg: &Msg) {
+            if let Msg::Coded(c) = msg {
+                self.st.deliver(c);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.st.is_complete()
+        }
+    }
+
+    fn make_packets(k: usize) -> Vec<Packet> {
+        (0..k)
+            .map(|i| Packet::new((i % 7) as u64, i as u32, vec![i as u8, 0xAB, (i * 3) as u8]))
+            .collect()
+    }
+
+    /// Stage 4 in isolation: BFS distances installed by the harness.
+    fn run_dissemination(
+        topology: &Topology,
+        root: usize,
+        k: usize,
+        seed: u64,
+        group_override: Option<usize>,
+    ) -> (bool, u64) {
+        let g = topology.build(seed).unwrap();
+        let n = g.len();
+        let mut cfg = Config::for_network(n, g.diameter().unwrap(), g.max_degree());
+        cfg.group_size_override = group_override;
+        let dist = g.bfs_distances(NodeId::new(root));
+        let packets = make_packets(k);
+        let nodes: Vec<DissemNode> = (0..n)
+            .map(|i| DissemNode {
+                st: if i == root {
+                    DissemState::new_root(cfg, packets.clone())
+                } else {
+                    DissemState::new_node(
+                        cfg,
+                        dist[i].map(|d| u32::try_from(d).unwrap()),
+                    )
+                },
+                rng: rng::stream(seed, i as u64),
+            })
+            .collect();
+        let mut e = Engine::new(g, nodes, (0..n).map(NodeId::new)).unwrap();
+        // Generous cap: 4x the scheduled stage length.
+        let sched = {
+            let m = cfg.group_size();
+            let groups = k.div_ceil(m).max(1) as u64;
+            (3 * (groups - 1) + cfg.d_bound.max(1) as u64) * cfg.forward_phase_rounds()
+        };
+        let ok = e.run_until_all_done(4 * sched + 64);
+        if !ok {
+            return (false, e.round());
+        }
+        // Every node must hold exactly the root's packets, in order.
+        for i in 0..n {
+            if e.node(NodeId::new(i)).st.packets() != packets {
+                return (false, e.round());
+            }
+        }
+        (true, e.round())
+    }
+
+    #[test]
+    fn single_group_reaches_everyone_on_path() {
+        for seed in 0..3 {
+            let (ok, _) = run_dissemination(&Topology::Path { n: 12 }, 0, 3, seed, None);
+            assert!(ok, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_group_pipeline_on_path() {
+        for seed in 0..3 {
+            let (ok, _) = run_dissemination(&Topology::Path { n: 10 }, 0, 30, seed, None);
+            assert!(ok, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn works_on_grid_star_and_random() {
+        for seed in 0..2 {
+            let (ok, _) =
+                run_dissemination(&Topology::Grid2d { rows: 4, cols: 5 }, 7, 25, seed, None);
+            assert!(ok, "grid seed {seed}");
+            let (ok, _) = run_dissemination(&Topology::Star { n: 20 }, 0, 12, seed, None);
+            assert!(ok, "star seed {seed}");
+            let (ok, _) =
+                run_dissemination(&Topology::Gnp { n: 30, p: 0.2 }, 2, 18, seed, None);
+            assert!(ok, "gnp seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uncoded_ablation_also_delivers() {
+        for seed in 0..2 {
+            let (ok, _) = run_dissemination(&Topology::Path { n: 8 }, 0, 10, seed, Some(1));
+            assert!(ok, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn coded_beats_uncoded_in_rounds_for_large_k() {
+        let (ok_c, rounds_coded) =
+            run_dissemination(&Topology::Path { n: 10 }, 0, 48, 5, None);
+        let (ok_u, rounds_uncoded) =
+            run_dissemination(&Topology::Path { n: 10 }, 0, 48, 5, Some(1));
+        assert!(ok_c && ok_u);
+        assert!(
+            rounds_coded < rounds_uncoded,
+            "coded {rounds_coded} !< uncoded {rounds_uncoded}"
+        );
+    }
+
+    #[test]
+    fn empty_k_is_trivially_complete_at_root() {
+        let cfg = Config::for_network(8, 3, 3);
+        let root = DissemState::new_root(cfg, Vec::new());
+        assert_eq!(root.total_phases(), Some(0));
+        assert!(root.is_complete());
+        assert!(root.packets().is_empty());
+    }
+
+    #[test]
+    fn last_short_group_is_handled() {
+        // k = 2 * m + 1 leaves a 1-member final group.
+        let cfg = Config::for_network(256, 4, 4);
+        let m = cfg.group_size();
+        let (ok, _) = run_dissemination(&Topology::Path { n: 6 }, 0, 2 * m + 1, 3, None);
+        assert!(ok);
+    }
+
+    #[test]
+    fn unlabeled_node_decodes_but_never_transmits() {
+        let cfg = Config::for_network(8, 2, 3);
+        let mut st = DissemState::new_node(cfg, None);
+        let mut rng = rng::stream(0, 0);
+        for r in 0..200 {
+            assert_eq!(st.poll(r, &mut rng), None);
+        }
+        // It still decodes from headers.
+        st.deliver(&CodedMsg {
+            batch: 0,
+            group: 0,
+            num_groups: 1,
+            k: 1,
+            group_size: 1,
+            payload_len: 16,
+            coeffs: BitVec::unit(1, 0),
+            payload: {
+                let mut b = Packet::new(4, 0, vec![1, 2]).to_bytes();
+                b.resize(16, 0);
+                b
+            },
+        });
+        assert!(st.is_complete());
+        assert_eq!(st.packets(), vec![Packet::new(4, 0, vec![1, 2])]);
+    }
+
+    #[test]
+    fn foreign_batch_rows_are_ignored() {
+        let cfg = Config::for_network(8, 2, 3);
+        let mut st = DissemState::new_node_in_batch(cfg, Some(1), 2);
+        st.deliver(&CodedMsg {
+            batch: 1, // wrong batch
+            group: 0,
+            num_groups: 1,
+            k: 1,
+            group_size: 1,
+            payload_len: 16,
+            coeffs: BitVec::unit(1, 0),
+            payload: vec![0; 16],
+        });
+        assert_eq!(st.num_groups(), None);
+        assert!(!st.is_complete());
+        st.deliver(&CodedMsg {
+            batch: 2, // right batch
+            group: 0,
+            num_groups: 1,
+            k: 1,
+            group_size: 1,
+            payload_len: 16,
+            coeffs: BitVec::unit(1, 0),
+            payload: {
+                let mut b = Packet::new(3, 0, vec![4]).to_bytes();
+                b.resize(16, 0);
+                b
+            },
+        });
+        assert!(st.is_complete());
+    }
+
+    #[test]
+    fn total_rounds_known_only_after_first_header() {
+        let cfg = Config::for_network(16, 3, 3);
+        let mut st = DissemState::new_node(cfg, Some(1));
+        assert_eq!(st.total_rounds(), None);
+        st.deliver(&CodedMsg {
+            batch: 0,
+            group: 0,
+            num_groups: 2,
+            k: 7,
+            group_size: 4,
+            payload_len: 20,
+            coeffs: BitVec::zeros(4),
+            payload: vec![0; 20],
+        });
+        let phases = 3 + cfg.d_bound.max(1) as u64;
+        assert_eq!(st.total_rounds(), Some(phases * cfg.forward_phase_rounds()));
+    }
+}

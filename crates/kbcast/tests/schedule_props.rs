@@ -1,0 +1,107 @@
+//! Property-based tests of the schedule arithmetic that keeps the
+//! distributed execution in lock-step: every node must derive identical
+//! boundaries from the shared configuration, for any parameters.
+
+use kbcast::stage3::schedule;
+use kbcast::Config;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = Config> {
+    (2usize..5000, 1usize..64, 1usize..128, 1usize..5, 1usize..5, 1usize..4, 1usize..8)
+        .prop_map(|(n, d, delta, c_or, c_bfs, c_grab, c_fwd)| {
+            let mut cfg = Config::for_network(n, d, delta);
+            cfg.c_or = c_or;
+            cfg.c_bfs = c_bfs;
+            cfg.c_grab = c_grab;
+            cfg.c_fwd = c_fwd;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every schedule quantity is positive — no degenerate zero-length
+    /// stages regardless of parameters.
+    #[test]
+    fn schedules_are_positive(cfg in arb_config()) {
+        prop_assert!(cfg.epoch_len() >= 1);
+        prop_assert!(cfg.log_n() >= 1);
+        prop_assert!(cfg.epidemic_window_rounds() > 0);
+        prop_assert!(cfg.stage1_rounds() > 0);
+        prop_assert!(cfg.bfs_phase_rounds() > 0);
+        prop_assert!(cfg.stage2_rounds() > 0);
+        prop_assert!(cfg.initial_estimate() > 0);
+        prop_assert!(cfg.grab_floor() >= 1);
+        prop_assert!(cfg.group_size() >= 1);
+        prop_assert!(cfg.forward_phase_rounds() >= cfg.group_size() as u64);
+    }
+
+    /// `phase_at` is the exact inverse of `phase_start`: every stage-3
+    /// round belongs to exactly one phase.
+    #[test]
+    fn phase_at_partitions_time(cfg in arb_config(), offset in 0u64..200_000) {
+        let (p, start) = schedule::phase_at(offset, &cfg);
+        let len = schedule::phase_rounds(schedule::estimate_for_phase(p, &cfg), &cfg);
+        prop_assert!(start <= offset);
+        prop_assert!(offset < start + len);
+        prop_assert_eq!(schedule::phase_start(p, &cfg), start);
+    }
+
+    /// The GRAB schedule tiles its phase: procedures are contiguous,
+    /// ordered, and the alarm window follows immediately.
+    #[test]
+    fn grab_schedule_tiles(cfg in arb_config(), x in 1usize..100_000) {
+        let procs = schedule::grab_schedule(x, &cfg);
+        prop_assert!(!procs.is_empty());
+        let mut cursor = 0u64;
+        for p in &procs {
+            prop_assert_eq!(p.start, cursor, "gap before a procedure");
+            prop_assert_eq!(p.len, (24 * p.y + 5 * cfg.d_bound) as u64);
+            prop_assert_eq!(p.send_end, (6 * p.y + cfg.d_bound) as u64);
+            prop_assert!(p.copies >= 1);
+            cursor = p.end();
+        }
+        prop_assert_eq!(schedule::grab_rounds(x, &cfg), cursor);
+        prop_assert_eq!(
+            schedule::phase_rounds(x, &cfg),
+            cursor + cfg.epidemic_window_rounds()
+        );
+    }
+
+    /// The OSPG halving sequence is non-increasing and bottoms out at
+    /// the floor; the final MSPG uses floor² slots and floor copies.
+    #[test]
+    fn grab_halves_to_floor(cfg in arb_config(), x in 1usize..100_000) {
+        let procs = schedule::grab_schedule(x, &cfg);
+        let floor = cfg.grab_floor();
+        let (mspg, ospgs) = procs.split_last().expect("non-empty");
+        for w in ospgs.windows(2) {
+            prop_assert!(w[1].y <= w[0].y);
+            prop_assert_eq!(w[0].copies, 1);
+        }
+        if let Some(last_ospg) = ospgs.last() {
+            prop_assert_eq!(last_ospg.y, floor);
+        }
+        prop_assert_eq!(mspg.y, floor * floor);
+        prop_assert_eq!(mspg.copies, floor);
+    }
+
+    /// Estimates double monotonically and saturate instead of wrapping.
+    #[test]
+    fn estimates_monotone(cfg in arb_config(), p in 0u32..80) {
+        let a = schedule::estimate_for_phase(p, &cfg);
+        let b = schedule::estimate_for_phase(p + 1, &cfg);
+        prop_assert!(b >= a);
+        prop_assert!(a >= cfg.initial_estimate());
+    }
+
+    /// Stage boundaries partition the pre-collection timeline.
+    #[test]
+    fn stage_boundaries_consistent(cfg in arb_config()) {
+        prop_assert_eq!(
+            cfg.stage3_start(),
+            cfg.stage1_rounds() + cfg.stage2_rounds()
+        );
+    }
+}

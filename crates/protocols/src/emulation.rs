@@ -1,0 +1,628 @@
+//! Emulation of a single-hop channel **with collision detection** on a
+//! multi-hop radio network **without** it (Bar-Yehuda, Goldreich & Itai,
+//! *Distributed Computing* 1991) — the primitive behind the paper's
+//! Fact 1 ("a deterministic binary-search algorithm based on collision
+//! detection can be used to select a node with maximum ID").
+//!
+//! One emulated round must let every node distinguish three outcomes:
+//! *silence* (no transmitter anywhere), *single* (exactly one, and its
+//! value is received), or *collision* (two or more). The construction
+//! uses two epidemic-broadcast windows per emulated round:
+//!
+//! 1. **Value window** — every emulated transmitter floods its value;
+//!    relays forward the *maximum* value they have heard (max-flooding
+//!    is still a 1-bit-per-bit OR, so the BGI analysis applies). At the
+//!    window's end every node knows `max(values)` or silence.
+//! 2. **Dissent window** — every emulated transmitter whose own value
+//!    differs from the received maximum floods a 1-bit dissent. Dissent
+//!    ⇒ at least two transmitters ⇒ *collision*; silence after a value
+//!    ⇒ *single*.
+//!
+//! Two transmitters with the *same* value are indistinguishable from one
+//! — callers must transmit distinguishable values (e.g. their ids),
+//! which is exactly how the max-id search uses it.
+//!
+//! The composite state machine [`CdEmulation`] runs a *sequence* of
+//! emulated rounds; the caller decides per emulated round whether this
+//! node transmits (and with which value) via a callback on
+//! [`CdEmulation::begin_round`].
+
+use rand::Rng;
+
+use crate::epidemic::Epidemic;
+use radio_net::message::MessageSize;
+
+/// Outcome of one emulated collision-detection round, as observed by a
+/// node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CdOutcome {
+    /// No node transmitted.
+    Silence,
+    /// Exactly one node transmitted this value (w.h.p.).
+    Single(u64),
+    /// At least two nodes transmitted (w.h.p.).
+    Collision(u64),
+}
+
+/// Message of the emulation: which emulated round, which window, and
+/// the flooded content.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CdMsg {
+    /// Emulated-round index.
+    pub round: u32,
+    /// Window 0 (value flood) or 1 (dissent flood).
+    pub window: u8,
+    /// Flooded value (the running maximum in window 0; unused in 1).
+    pub value: u64,
+}
+
+impl MessageSize for CdMsg {
+    fn size_bits(&self) -> usize {
+        32 + 8 + 64
+    }
+}
+
+/// Shared parameters: both windows have the same length, sized like any
+/// epidemic window (`c·(D + log n)` Decay epochs) — but use roughly
+/// **twice** the ordinary epidemic constant: in the value window a
+/// larger value must *overtake* regions already saturated by smaller
+/// ones, where every node is transmitting, which halves the frontier's
+/// per-round progress probability compared to a fresh flood.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CdConfig {
+    /// Rounds per flood window.
+    pub window_rounds: u64,
+    /// Maximum-degree bound Δ.
+    pub delta_bound: usize,
+}
+
+impl CdConfig {
+    /// Real rounds consumed by one emulated round (two windows).
+    #[must_use]
+    pub fn emulated_round_cost(&self) -> u64 {
+        2 * self.window_rounds
+    }
+}
+
+/// Per-node state machine emulating a sequence of collision-detection
+/// rounds.
+#[derive(Clone, Debug)]
+pub struct CdEmulation {
+    cfg: CdConfig,
+    /// Emulated round currently executing.
+    round: u32,
+    /// This node's transmission for the current emulated round.
+    own: Option<u64>,
+    /// Maximum value heard in the current value window (incl. own).
+    max_heard: Option<u64>,
+    /// Whether dissent was heard (or raised) this emulated round.
+    dissent: bool,
+    value_relay: Epidemic,
+    dissent_relay: Epidemic,
+}
+
+impl CdEmulation {
+    /// Creates the emulation.
+    #[must_use]
+    pub fn new(cfg: CdConfig) -> Self {
+        CdEmulation {
+            cfg,
+            round: 0,
+            own: None,
+            max_heard: None,
+            dissent: false,
+            value_relay: Epidemic::new(cfg.delta_bound, false),
+            dissent_relay: Epidemic::new(cfg.delta_bound, false),
+        }
+    }
+
+    /// Starts emulated round `round`; `transmit` is `Some(value)` if
+    /// this node transmits on the emulated channel. Must be called (with
+    /// ascending round indices) before polling within that round.
+    pub fn begin_round(&mut self, round: u32, transmit: Option<u64>) {
+        self.round = round;
+        self.own = transmit;
+        self.max_heard = transmit;
+        self.dissent = false;
+        self.value_relay.reset(transmit.is_some());
+        self.dissent_relay.reset(false);
+    }
+
+    /// Transmit decision at `local` (rounds within the current emulated
+    /// round, `0 .. emulated_round_cost`).
+    pub fn poll(&mut self, local: u64, rng: &mut impl Rng) -> Option<CdMsg> {
+        if local < self.cfg.window_rounds {
+            // Value window: informed nodes flood the running maximum.
+            self.value_relay.poll(local, rng).then(|| CdMsg {
+                round: self.round,
+                window: 0,
+                value: self.max_heard.expect("informed implies a value"),
+            })
+        } else {
+            // Dissent window: a transmitter whose value lost the
+            // max-flood has detected a collision and floods dissent.
+            // (`check_dissent` also runs on every delivery, so a value
+            // learned late still raises it.)
+            let wl = local - self.cfg.window_rounds;
+            self.check_dissent();
+            self.dissent_relay.poll(wl, rng).then_some(CdMsg {
+                round: self.round,
+                window: 1,
+                value: 0,
+            })
+        }
+    }
+
+    /// Handles a received emulation message.
+    pub fn deliver(&mut self, msg: &CdMsg) {
+        if msg.round != self.round {
+            return; // stale window boundary
+        }
+        match msg.window {
+            0 => {
+                if self.max_heard.is_none_or(|m| msg.value > m) {
+                    self.max_heard = Some(msg.value);
+                }
+                self.value_relay.inform();
+                self.check_dissent();
+            }
+            _ => {
+                self.dissent = true;
+                self.dissent_relay.inform();
+            }
+        }
+    }
+
+    /// An emulated transmitter that has heard a value other than its own
+    /// has witnessed a collision.
+    fn check_dissent(&mut self) {
+        if let (Some(own), Some(max)) = (self.own, self.max_heard) {
+            if own != max && !self.dissent {
+                self.dissent = true;
+                self.dissent_relay.inform();
+            }
+        }
+    }
+
+    /// The emulated round's outcome; read after `emulated_round_cost`
+    /// rounds have elapsed.
+    #[must_use]
+    pub fn outcome(&self) -> CdOutcome {
+        match (self.max_heard, self.dissent) {
+            (None, _) => CdOutcome::Silence,
+            (Some(v), false) => CdOutcome::Single(v),
+            (Some(v), true) => CdOutcome::Collision(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing;
+    use radio_net::engine::{Engine, Node};
+    use radio_net::graph::NodeId;
+    use radio_net::rng;
+    use radio_net::topology::Topology;
+    use rand::rngs::SmallRng;
+
+    struct CdNode {
+        em: CdEmulation,
+        plan: Vec<Option<u64>>, // per emulated round
+        rng: SmallRng,
+        cost: u64,
+        outcomes: Vec<CdOutcome>,
+    }
+
+    impl Node for CdNode {
+        type Msg = CdMsg;
+        fn poll(&mut self, round: u64) -> Option<CdMsg> {
+            let er = (round / self.cost) as usize;
+            let local = round % self.cost;
+            if local == 0 {
+                if er > 0 {
+                    self.outcomes.push(self.em.outcome());
+                }
+                let tx = self.plan.get(er).copied().flatten();
+                self.em.begin_round(u32::try_from(er).unwrap(), tx);
+            }
+            self.em.poll(local, &mut self.rng)
+        }
+        fn receive(&mut self, _round: u64, msg: &CdMsg) {
+            self.em.deliver(msg);
+        }
+    }
+
+    /// Runs `plans[node][emulated_round]` and returns every node's
+    /// outcome sequence.
+    fn emulate(topology: &Topology, plans: Vec<Vec<Option<u64>>>, seed: u64) -> Vec<Vec<CdOutcome>> {
+        let g = topology.build(seed).unwrap();
+        let n = g.len();
+        let delta = g.max_degree();
+        let d = g.diameter().unwrap();
+        let cfg = CdConfig {
+            window_rounds: timing::epidemic_window_rounds(n, d, delta, 6),
+            delta_bound: delta,
+        };
+        let rounds = plans[0].len();
+        let nodes: Vec<CdNode> = (0..n)
+            .map(|i| CdNode {
+                em: CdEmulation::new(cfg),
+                plan: plans[i].clone(),
+                rng: rng::stream(seed, i as u64),
+                cost: cfg.emulated_round_cost(),
+                outcomes: Vec::new(),
+            })
+            .collect();
+        let mut e = Engine::new(g, nodes, (0..n).map(NodeId::new)).unwrap();
+        e.run(cfg.emulated_round_cost() * rounds as u64);
+        e.into_nodes()
+            .into_iter()
+            .map(|mut nd| {
+                nd.outcomes.push(nd.em.outcome());
+                nd.outcomes
+            })
+            .collect()
+    }
+
+    #[test]
+    fn silence_single_collision_on_path() {
+        for seed in 0..3 {
+            let n = 12;
+            // Round 0: silence. Round 1: node 3 alone (value 33).
+            // Round 2: nodes 2 and 9 (values 22, 99) -> collision.
+            let plans: Vec<Vec<Option<u64>>> = (0..n)
+                .map(|i| {
+                    vec![
+                        None,
+                        (i == 3).then_some(33),
+                        match i {
+                            2 => Some(22),
+                            9 => Some(99),
+                            _ => None,
+                        },
+                    ]
+                })
+                .collect();
+            let outcomes = emulate(&Topology::Path { n }, plans, seed);
+            for (i, o) in outcomes.iter().enumerate() {
+                assert_eq!(o[0], CdOutcome::Silence, "seed {seed} node {i}");
+                assert_eq!(o[1], CdOutcome::Single(33), "seed {seed} node {i}");
+                assert_eq!(o[2], CdOutcome::Collision(99), "seed {seed} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn collision_detected_on_random_graph() {
+        for seed in 0..3 {
+            let n = 24;
+            let plans: Vec<Vec<Option<u64>>> = (0..n)
+                .map(|i| vec![[5usize, 11, 17].contains(&i).then_some(i as u64)])
+                .collect();
+            let outcomes = emulate(&Topology::Gnp { n, p: 0.2 }, plans, seed);
+            for o in &outcomes {
+                assert_eq!(o[0], CdOutcome::Collision(17));
+            }
+        }
+    }
+
+    #[test]
+    fn equal_values_look_single_as_documented() {
+        // Two transmitters with the same value are indistinguishable
+        // from one — the documented caveat.
+        let n = 8;
+        let plans: Vec<Vec<Option<u64>>> = (0..n)
+            .map(|i| vec![(i == 1 || i == 6).then_some(7)])
+            .collect();
+        let outcomes = emulate(&Topology::Path { n }, plans, 1);
+        for o in &outcomes {
+            assert_eq!(o[0], CdOutcome::Single(7));
+        }
+    }
+
+    /// Max-id search over the emulated channel: binary descent where in
+    /// each emulated round the still-alive candidates with the probed
+    /// bit set transmit their ids. Single(id) ends the search early;
+    /// Collision(max) narrows it — the classic Fact 1 algorithm, here
+    /// as an integration test of the emulation.
+    #[test]
+    fn max_id_search_over_emulated_channel() {
+        let n = 16;
+        let candidates: Vec<usize> = vec![2, 5, 11, 14];
+        let seed = 3;
+        // Drive the emulation round by round from the harness: each
+        // emulated round, transmitters = alive candidates with bit set.
+        let id_bits = 4;
+        let mut alive: Vec<u64> = candidates.iter().map(|&c| c as u64).collect();
+        let mut prefix = 0u64;
+        let mut plans_per_round: Vec<Vec<Option<u64>>> = Vec::new();
+        // Precompute the transmission plan by simulating the search
+        // logic on ground truth (the emulation must reproduce it).
+        for bit in (0..id_bits).rev() {
+            let probe = prefix | (1 << bit);
+            let shift = bit;
+            let senders: Vec<u64> = alive
+                .iter()
+                .copied()
+                .filter(|&id| (id >> shift) == (probe >> shift))
+                .collect();
+            plans_per_round.push((0..n).map(|i| senders.contains(&(i as u64)).then_some(i as u64)).collect());
+            if !senders.is_empty() {
+                prefix = probe;
+                alive.retain(|&id| (id >> shift) == (probe >> shift));
+            }
+        }
+        // Transpose to per-node plans.
+        let plans: Vec<Vec<Option<u64>>> = (0..n)
+            .map(|i| plans_per_round.iter().map(|r| r[i]).collect())
+            .collect();
+        let outcomes = emulate(&Topology::Grid2d { rows: 4, cols: 4 }, plans, seed);
+        // Every node, replaying the outcomes, must find max id = 14.
+        for o in &outcomes {
+            let mut found = 0u64;
+            for (i, out) in o.iter().enumerate() {
+                let bit = id_bits - 1 - i;
+                match out {
+                    CdOutcome::Single(_) | CdOutcome::Collision(_) => found |= 1 << bit,
+                    CdOutcome::Silence => {}
+                }
+            }
+            assert_eq!(found, 14);
+        }
+    }
+}
+
+/// The literal Fact 1 algorithm: deterministic binary search for the
+/// maximum id over the emulated collision-detection channel.
+///
+/// In emulated round `i` (one per id bit, MSB-first), the still-alive
+/// candidates whose id extends the decided prefix with a 1-bit transmit
+/// their ids. Any non-silence (single *or* collision — the emulated
+/// channel's max value is enough) fixes the bit to 1 and eliminates the
+/// 0-branch candidates; silence fixes it to 0. After `id_bits` emulated
+/// rounds every node knows the maximum candidate id.
+///
+/// This is the verification twin of [`crate::leader::LeaderElection`]
+/// (which answers each probe with a plain OR flood): same outcome, same
+/// asymptotics, but routed through the emulation primitive the paper
+/// cites.
+#[derive(Clone, Debug)]
+pub struct MaxIdSearch {
+    cfg: CdConfig,
+    id_bits: u32,
+    my_id: u64,
+    candidate: bool,
+    em: CdEmulation,
+    prefix: u64,
+    round: u32,
+    started: bool,
+}
+
+impl MaxIdSearch {
+    /// Creates the search; `candidate` nodes compete with `my_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `my_id` needs more than `id_bits` bits.
+    #[must_use]
+    pub fn new(cfg: CdConfig, id_bits: u32, my_id: u64, candidate: bool) -> Self {
+        assert!(
+            id_bits >= 64 || my_id < (1u64 << id_bits),
+            "id {my_id} does not fit in {id_bits} bits"
+        );
+        MaxIdSearch {
+            cfg,
+            id_bits,
+            my_id,
+            candidate,
+            em: CdEmulation::new(cfg),
+            prefix: 0,
+            round: 0,
+            started: false,
+        }
+    }
+
+    /// Total real rounds of the search.
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        u64::from(self.id_bits) * self.cfg.emulated_round_cost()
+    }
+
+    fn close_round(&mut self) {
+        let bit = self.id_bits - 1 - self.round;
+        if !matches!(self.em.outcome(), CdOutcome::Silence) {
+            self.prefix |= 1 << bit;
+        }
+        self.round += 1;
+    }
+
+    fn open_round(&mut self) {
+        let bit = self.id_bits - 1 - self.round;
+        let probe = self.prefix | (1 << bit);
+        // Transmit iff alive (id matches the probe's fixed high bits).
+        let transmit =
+            (self.candidate && (self.my_id >> bit) == (probe >> bit)).then_some(self.my_id);
+        self.em.begin_round(self.round, transmit);
+    }
+
+    /// Transmit decision at `local` (rounds since the search began).
+    pub fn poll(&mut self, local: u64, rng: &mut impl Rng) -> Option<CdMsg> {
+        let cost = self.cfg.emulated_round_cost();
+        let target = u32::try_from(local / cost).expect("round fits u32");
+        if target >= self.id_bits {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            self.open_round();
+        }
+        while self.round < target {
+            self.close_round();
+            if self.round < self.id_bits {
+                self.open_round();
+            }
+        }
+        self.em.poll(local % cost, rng)
+    }
+
+    /// Handles a received emulation message.
+    pub fn deliver(&mut self, msg: &CdMsg) {
+        self.em.deliver(msg);
+    }
+
+    /// The maximum candidate id, after `total_rounds` have elapsed
+    /// (closes the final emulated round; idempotent).
+    pub fn finish(&mut self) -> u64 {
+        while self.round < self.id_bits {
+            self.close_round();
+            if self.round < self.id_bits {
+                self.open_round();
+            }
+        }
+        self.prefix
+    }
+
+    /// Whether this node won (call after [`MaxIdSearch::finish`]).
+    #[must_use]
+    pub fn is_max(&self) -> bool {
+        self.candidate && self.prefix == self.my_id
+    }
+}
+
+#[cfg(test)]
+mod search_tests {
+    use super::*;
+    use crate::timing;
+    use radio_net::engine::{Engine, Node};
+    use radio_net::graph::NodeId;
+    use radio_net::rng;
+    use radio_net::topology::Topology;
+    use rand::rngs::SmallRng;
+
+    struct SearchNode {
+        s: MaxIdSearch,
+        rng: SmallRng,
+    }
+
+    impl Node for SearchNode {
+        type Msg = CdMsg;
+        fn poll(&mut self, round: u64) -> Option<CdMsg> {
+            self.s.poll(round, &mut self.rng)
+        }
+        fn receive(&mut self, _round: u64, msg: &CdMsg) {
+            self.s.deliver(msg);
+        }
+    }
+
+    fn run_search(topology: &Topology, candidates: &[usize], seed: u64) -> Vec<(u64, bool)> {
+        let g = topology.build(seed).unwrap();
+        let n = g.len();
+        let cfg = CdConfig {
+            window_rounds: timing::epidemic_window_rounds(
+                n,
+                g.diameter().unwrap(),
+                g.max_degree(),
+                6,
+            ),
+            delta_bound: g.max_degree(),
+        };
+        let id_bits = u32::try_from(timing::ceil_log2(n).max(1)).unwrap();
+        let nodes: Vec<SearchNode> = (0..n)
+            .map(|i| SearchNode {
+                s: MaxIdSearch::new(cfg, id_bits, i as u64, candidates.contains(&i)),
+                rng: rng::stream(seed, i as u64),
+            })
+            .collect();
+        let total = u64::from(id_bits) * cfg.emulated_round_cost();
+        let mut e = Engine::new(g, nodes, (0..n).map(NodeId::new)).unwrap();
+        e.run(total);
+        e.into_nodes()
+            .into_iter()
+            .map(|mut nd| {
+                let max = nd.s.finish();
+                (max, nd.s.is_max())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_max_on_grid() {
+        for seed in 0..3 {
+            let out = run_search(&Topology::Grid2d { rows: 4, cols: 4 }, &[2, 7, 11], seed);
+            for (i, (max, won)) in out.iter().enumerate() {
+                assert_eq!(*max, 11, "seed {seed} node {i}");
+                assert_eq!(*won, i == 11);
+            }
+        }
+    }
+
+    #[test]
+    fn finds_max_on_random_graph() {
+        for seed in 0..3 {
+            let out = run_search(&Topology::Gnp { n: 20, p: 0.25 }, &[0, 5, 13, 19], seed);
+            for (max, _) in &out {
+                assert_eq!(*max, 19, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn lone_candidate_wins() {
+        let out = run_search(&Topology::Path { n: 8 }, &[3], 1);
+        for (max, won) in out.iter().enumerate().map(|(i, o)| (o.0, (i == 3) == o.1)) {
+            assert_eq!(max, 3);
+            assert!(won);
+        }
+    }
+
+    #[test]
+    fn agrees_with_or_flood_election() {
+        // The two Stage 1 implementations must elect the same node.
+        use crate::leader::{LeaderConfig, LeaderElection};
+        let topo = Topology::Gnp { n: 24, p: 0.2 };
+        let candidates = [1usize, 8, 17, 22];
+        let seed = 5;
+        let emu = run_search(&topo, &candidates, seed);
+        let expected = emu[0].0;
+
+        let g = topo.build(seed).unwrap();
+        let lcfg = LeaderConfig {
+            id_bits: 5,
+            window_rounds: timing::epidemic_window_rounds(
+                24,
+                g.diameter().unwrap(),
+                g.max_degree(),
+                3,
+            ),
+            delta_bound: g.max_degree(),
+        };
+        struct LN {
+            le: LeaderElection,
+            rng: SmallRng,
+        }
+        impl Node for LN {
+            type Msg = crate::leader::ProbeMsg;
+            fn poll(&mut self, round: u64) -> Option<Self::Msg> {
+                self.le.poll(round, &mut self.rng)
+            }
+            fn receive(&mut self, round: u64, msg: &Self::Msg) {
+                self.le.deliver(round, msg);
+            }
+        }
+        let nodes: Vec<LN> = (0..24)
+            .map(|i| LN {
+                le: LeaderElection::new(lcfg, i as u64, candidates.contains(&i)),
+                rng: rng::stream(seed, 100 + i as u64),
+            })
+            .collect();
+        let mut e = Engine::new(g, nodes, (0..24).map(NodeId::new)).unwrap();
+        e.run(lcfg.total_rounds());
+        for mut nd in e.into_nodes() {
+            nd.le.finalize();
+            if let Some(o) = nd.le.outcome() {
+                assert_eq!(o.leader_id, expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! BGI randomized epidemic broadcast.
+//!
+//! Every node that knows the message runs the [`Decay`](crate::decay)
+//! schedule; an uninformed node with at least one informed neighbor
+//! receives within an epoch with constant probability, so the message
+//! crosses the network in `O((D + log n)·log Δ)` rounds w.h.p.
+//!
+//! The paper uses this machinery three times:
+//!
+//! 1. `ALARM` (Stage 3): nodes with unacknowledged packets flood a 1-bit
+//!    alarm; the many-sources case reduces to single-source broadcast on
+//!    a graph with one auxiliary node (paper, §2.3.1).
+//! 2. The network-wide OR inside leader election (Stage 1).
+//! 3. As the transmission pattern of `FORWARD` (Stage 4), where the
+//!    payload is re-coded on every transmission instead of repeated.
+
+use rand::Rng;
+
+use crate::decay::Decay;
+
+/// Relay state for one epidemic-broadcast window.
+///
+/// The state machine tracks only *whether this node is informed*; the
+/// message content (if any) is the caller's business. `poll` returns the
+/// transmit/listen decision; the caller attaches the payload.
+///
+/// ```
+/// use protocols::epidemic::Epidemic;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut relay = Epidemic::new(8, false);
+/// assert!(!relay.poll(0, &mut rng)); // uninformed nodes stay silent
+/// relay.inform();
+/// assert!(relay.is_informed());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Epidemic {
+    decay: Decay,
+    informed: bool,
+}
+
+impl Epidemic {
+    /// A relay for maximum degree `delta_bound`; `initiator` nodes start
+    /// informed.
+    #[must_use]
+    pub fn new(delta_bound: usize, initiator: bool) -> Self {
+        Epidemic {
+            decay: Decay::new(delta_bound),
+            informed: initiator,
+        }
+    }
+
+    /// Whether this node knows the message.
+    #[must_use]
+    pub fn is_informed(&self) -> bool {
+        self.informed
+    }
+
+    /// Marks the node informed (call on reception of the flooded message).
+    pub fn inform(&mut self) {
+        self.informed = true;
+    }
+
+    /// Re-arms the state machine for a fresh window (e.g. the next
+    /// leader-election iteration or the next `ALARM` epoch).
+    pub fn reset(&mut self, initiator: bool) {
+        self.informed = initiator;
+    }
+
+    /// Transmit/listen decision at `local_round` (rounds within the
+    /// current window). Uninformed nodes never transmit.
+    #[must_use]
+    pub fn poll(&mut self, local_round: u64, rng: &mut impl Rng) -> bool {
+        self.informed && self.decay.should_transmit(local_round, rng)
+    }
+
+    /// The underlying Decay schedule.
+    #[must_use]
+    pub fn decay(&self) -> Decay {
+        self.decay
+    }
+}
+
+/// Standalone single-message broadcast node for tests, examples and
+/// micro-benchmarks: floods a `u64` token from the sources to everyone.
+#[derive(Debug)]
+pub struct EpidemicNode {
+    state: Epidemic,
+    message: Option<u64>,
+    rng: rand::rngs::SmallRng,
+}
+
+impl EpidemicNode {
+    /// A node; `message` is `Some` for sources.
+    #[must_use]
+    pub fn new(delta_bound: usize, message: Option<u64>, rng: rand::rngs::SmallRng) -> Self {
+        EpidemicNode {
+            state: Epidemic::new(delta_bound, message.is_some()),
+            message,
+            rng,
+        }
+    }
+
+    /// The token this node knows, if informed.
+    #[must_use]
+    pub fn message(&self) -> Option<u64> {
+        self.message
+    }
+}
+
+impl radio_net::engine::Node for EpidemicNode {
+    type Msg = u64;
+
+    fn poll(&mut self, round: u64) -> Option<u64> {
+        if self.state.poll(round, &mut self.rng) {
+            self.message
+        } else {
+            None
+        }
+    }
+
+    fn receive(&mut self, _round: u64, msg: &u64) {
+        if self.message.is_none() {
+            self.message = Some(*msg);
+            self.state.inform();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.message.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::epidemic_window_rounds;
+    use radio_net::engine::Engine;
+    use radio_net::graph::NodeId;
+    use radio_net::rng;
+    use radio_net::topology::Topology;
+
+    fn run_broadcast(topology: &Topology, sources: &[usize], seed: u64) -> (bool, u64) {
+        let g = topology.build(seed).unwrap();
+        let n = g.len();
+        let delta = g.max_degree();
+        let d = g.diameter().unwrap();
+        let nodes: Vec<EpidemicNode> = (0..n)
+            .map(|i| {
+                EpidemicNode::new(
+                    delta,
+                    sources.contains(&i).then_some(42),
+                    rng::stream(seed, i as u64),
+                )
+            })
+            .collect();
+        let awake: Vec<NodeId> = sources.iter().map(|&s| NodeId::new(s)).collect();
+        let mut e = Engine::new(g, nodes, awake).unwrap();
+        let budget = epidemic_window_rounds(n, d, delta, 4);
+        let done = e.run_until_all_done(budget);
+        (done, e.round())
+    }
+
+    #[test]
+    fn broadcast_completes_within_window_on_path() {
+        for seed in 0..5 {
+            let (done, _) = run_broadcast(&Topology::Path { n: 40 }, &[0], seed);
+            assert!(done, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn broadcast_completes_on_star_and_clique() {
+        for seed in 0..5 {
+            let (done, _) = run_broadcast(&Topology::Star { n: 40 }, &[1], seed);
+            assert!(done, "star seed {seed}");
+            let (done, _) = run_broadcast(&Topology::Complete { n: 40 }, &[3], seed);
+            assert!(done, "clique seed {seed}");
+        }
+    }
+
+    #[test]
+    fn broadcast_completes_on_random_graphs() {
+        for seed in 0..5 {
+            let (done, _) = run_broadcast(&Topology::Gnp { n: 60, p: 0.12 }, &[0], seed);
+            assert!(done, "gnp seed {seed}");
+            let (done, _) = run_broadcast(&Topology::RandomTree { n: 60 }, &[0], seed);
+            assert!(done, "tree seed {seed}");
+        }
+    }
+
+    #[test]
+    fn many_sources_behave_like_one(/* the ALARM reduction */) {
+        for seed in 0..5 {
+            let (done, rounds_many) =
+                run_broadcast(&Topology::Grid2d { rows: 6, cols: 6 }, &[0, 7, 35], seed);
+            assert!(done);
+            let (done, rounds_one) =
+                run_broadcast(&Topology::Grid2d { rows: 6, cols: 6 }, &[0], seed);
+            assert!(done);
+            // More sources can only help (statistically); sanity-check the
+            // many-source run is not drastically slower.
+            assert!(
+                rounds_many <= rounds_one * 3 + 10,
+                "seed {seed}: many {rounds_many} vs one {rounds_one}"
+            );
+        }
+    }
+
+    #[test]
+    fn sleeping_relays_wake_and_relay() {
+        // Only the source starts awake; the flood must still cross.
+        let (done, _) = run_broadcast(&Topology::Path { n: 30 }, &[0], 9);
+        assert!(done);
+    }
+
+    #[test]
+    fn no_source_means_silence() {
+        let g = Topology::Path { n: 10 }.build(0).unwrap();
+        let nodes: Vec<EpidemicNode> = (0..10)
+            .map(|i| EpidemicNode::new(2, None, rng::stream(0, i as u64)))
+            .collect();
+        let mut e = Engine::new(g, nodes, (0..10).map(NodeId::new)).unwrap();
+        e.run(200);
+        assert_eq!(e.stats().transmissions, 0);
+        assert!(e.nodes().iter().all(|n| n.message().is_none()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Round-arithmetic helpers shared by every protocol.
+//!
+//! All schedule lengths in this workspace are *deterministic functions of
+//! the shared network estimates* (`n_bound`, `d_bound`, `delta_bound`) and
+//! explicit constants, because nodes must agree on phase boundaries
+//! without communicating. Deriving them through one module guarantees
+//! that agreement.
+
+/// `⌈log2(x)⌉` for `x ≥ 1`; `0` for `x ∈ {0, 1}`.
+///
+/// ```
+/// use protocols::timing::ceil_log2;
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(5), 3);
+/// assert_eq!(ceil_log2(8), 3);
+/// ```
+#[must_use]
+pub fn ceil_log2(x: usize) -> usize {
+    if x <= 1 {
+        0
+    } else {
+        (usize::BITS - (x - 1).leading_zeros()) as usize
+    }
+}
+
+/// Length of one Decay epoch for a maximum-degree bound Δ: `⌈log2 Δ⌉`
+/// rounds, but at least 1 (the paper's probability ladder
+/// `1/2, 1/4, …, 1/2^⌈log Δ⌉` needs at least one rung).
+#[must_use]
+pub fn epoch_len(delta_bound: usize) -> usize {
+    ceil_log2(delta_bound).max(1)
+}
+
+/// `log2`-style size of the id space / packet-count estimates: the paper
+/// works with `⌈log n⌉ ≥ 1` everywhere; this is that quantity.
+#[must_use]
+pub fn log_n(n_bound: usize) -> usize {
+    ceil_log2(n_bound).max(1)
+}
+
+/// Number of epochs for one BGI epidemic-broadcast window:
+/// `c · (d_bound + log n)` — enough for the message to cross the network
+/// and absorb the per-hop `Θ(log n)` tail, w.h.p.
+#[must_use]
+pub fn epidemic_window_epochs(n_bound: usize, d_bound: usize, c: usize) -> usize {
+    c * (d_bound + log_n(n_bound)).max(1)
+}
+
+/// Rounds in one BGI epidemic-broadcast window.
+#[must_use]
+pub fn epidemic_window_rounds(n_bound: usize, d_bound: usize, delta_bound: usize, c: usize) -> u64 {
+    (epidemic_window_epochs(n_bound, d_bound, c) * epoch_len(delta_bound)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_table() {
+        let expect = [
+            (0, 0),
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (1024, 10),
+            (1025, 11),
+        ];
+        for (x, want) in expect {
+            assert_eq!(ceil_log2(x), want, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn epoch_len_is_at_least_one() {
+        assert_eq!(epoch_len(0), 1);
+        assert_eq!(epoch_len(1), 1);
+        assert_eq!(epoch_len(2), 1);
+        assert_eq!(epoch_len(3), 2);
+        assert_eq!(epoch_len(16), 4);
+    }
+
+    #[test]
+    fn window_scales_with_diameter_and_logn() {
+        let w1 = epidemic_window_rounds(256, 10, 8, 2);
+        assert_eq!(w1, (2 * (10 + 8) * 3) as u64);
+        assert!(epidemic_window_rounds(256, 20, 8, 2) > w1);
+        assert!(epidemic_window_rounds(1 << 16, 10, 8, 2) > w1);
+    }
+
+    #[test]
+    fn log_n_is_at_least_one() {
+        assert_eq!(log_n(1), 1);
+        assert_eq!(log_n(2), 1);
+        assert_eq!(log_n(1000), 10);
+    }
+}

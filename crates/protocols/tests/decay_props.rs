@@ -1,0 +1,53 @@
+//! Property-based tests of the Decay schedule and timing arithmetic.
+
+use proptest::prelude::*;
+use protocols::decay::Decay;
+use protocols::timing;
+
+proptest! {
+    /// The probability ladder starts at 1/2, halves every round within
+    /// an epoch, and resets at epoch boundaries.
+    #[test]
+    fn ladder_shape(delta in 1usize..10_000, round in 0u64..1_000) {
+        let d = Decay::new(delta);
+        let len = d.epoch_len() as u64;
+        prop_assert!(len >= 1);
+        let p = d.probability(round);
+        let pos = round % len;
+        let expected = 0.5f64.powi(i32::try_from(pos).unwrap() + 1);
+        prop_assert!((p - expected).abs() < 1e-12);
+        // Epoch boundary resets to 1/2.
+        prop_assert!((d.probability(round - pos) - 0.5).abs() < 1e-12);
+    }
+
+    /// Epoch length is exactly ⌈log2 Δ⌉ (min 1) and is monotone in Δ.
+    #[test]
+    fn epoch_len_matches_ceil_log2(delta in 1usize..1_000_000) {
+        let d = Decay::new(delta);
+        prop_assert_eq!(d.epoch_len(), timing::ceil_log2(delta).max(1));
+        prop_assert!(Decay::new(delta + 1).epoch_len() >= d.epoch_len());
+    }
+
+    /// ceil_log2 is the inverse of exponentiation on powers of two and
+    /// is monotone everywhere.
+    #[test]
+    fn ceil_log2_properties(x in 1usize..(1 << 30)) {
+        let l = timing::ceil_log2(x);
+        prop_assert!(1usize.checked_shl(u32::try_from(l).unwrap()).is_none_or(|v| v >= x));
+        if l > 0 {
+            prop_assert!(1usize << (l - 1) < x);
+        }
+        prop_assert!(timing::ceil_log2(x + 1) >= l);
+    }
+
+    /// The epidemic window grows monotonically in every parameter.
+    #[test]
+    fn window_monotone(n in 2usize..10_000, d in 1usize..100, delta in 1usize..1_000, c in 1usize..6) {
+        let w = timing::epidemic_window_rounds(n, d, delta, c);
+        prop_assert!(w > 0);
+        prop_assert!(timing::epidemic_window_rounds(n * 2, d, delta, c) >= w);
+        prop_assert!(timing::epidemic_window_rounds(n, d + 1, delta, c) >= w);
+        prop_assert!(timing::epidemic_window_rounds(n, d, delta * 2, c) >= w);
+        prop_assert!(timing::epidemic_window_rounds(n, d, delta, c + 1) > w);
+    }
+}

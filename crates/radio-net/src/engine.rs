@@ -1,0 +1,529 @@
+//! The synchronous round loop and the collision semantics.
+//!
+//! All radio semantics live in [`Engine::step`] — protocols never get to
+//! observe the graph, other nodes' state, or the cause of a silent round.
+//! This is what makes simulated executions faithful to the ad-hoc model:
+//! a protocol node sees exactly `(its own state, the round number, its own
+//! receptions)` and nothing else.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::error::Error;
+use crate::graph::{Graph, NodeId};
+use crate::message::MessageSize;
+use crate::stats::{RoundOutcome, SimStats};
+
+/// A per-node protocol state machine driven by the [`Engine`].
+///
+/// Implementations must be *local*: decisions may depend only on state
+/// accumulated through [`Node::receive`] and the round counter. The engine
+/// never exposes the topology.
+pub trait Node {
+    /// The message type this protocol puts on the channel.
+    type Msg: Clone + MessageSize;
+
+    /// Called once per round while the node is awake. Returning
+    /// `Some(msg)` transmits `msg` this round; returning `None` listens.
+    fn poll(&mut self, round: u64) -> Option<Self::Msg>;
+
+    /// Called when the node successfully receives `msg` (i.e. exactly one
+    /// neighbor transmitted this round and this node was listening). If
+    /// the node was asleep, the engine wakes it; from the next round on it
+    /// will be polled.
+    fn receive(&mut self, round: u64, msg: &Self::Msg);
+
+    /// Reports protocol-local completion; used by harness stop conditions
+    /// such as [`Engine::run_until_all_done`]. Defaults to `false`
+    /// (protocols that never terminate locally).
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Synchronous radio-network simulator.
+///
+/// See the [crate-level documentation](crate) for the model and an example.
+#[derive(Debug)]
+pub struct Engine<N: Node> {
+    graph: Graph,
+    nodes: Vec<N>,
+    awake: Vec<bool>,
+    round: u64,
+    stats: SimStats,
+    // Reused per-round scratch space.
+    tx: Vec<Option<N::Msg>>,
+    stamp: Vec<u64>,
+    heard: Vec<u32>,
+    last_tx: Vec<u32>,
+    /// Injected channel noise: each successful reception is independently
+    /// dropped with this probability (fault-injection experiments; the
+    /// paper's model is the clean `None`).
+    loss: Option<(f64, SmallRng)>,
+}
+
+impl<N: Node> Engine<N> {
+    /// Creates an engine over `graph` with one state machine per node.
+    /// `initially_awake` nodes are polled from round 0; all others sleep
+    /// until their first reception.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeCountMismatch`] if `nodes.len() != graph.len()`
+    /// and [`Error::NodeOutOfRange`] if an initially-awake id is invalid.
+    pub fn new(
+        graph: Graph,
+        nodes: Vec<N>,
+        initially_awake: impl IntoIterator<Item = NodeId>,
+    ) -> Result<Self, Error> {
+        if nodes.len() != graph.len() {
+            return Err(Error::NodeCountMismatch {
+                nodes: nodes.len(),
+                graph: graph.len(),
+            });
+        }
+        let n = graph.len();
+        let mut awake = vec![false; n];
+        for id in initially_awake {
+            if id.index() >= n {
+                return Err(Error::NodeOutOfRange {
+                    node: id.index(),
+                    n,
+                });
+            }
+            awake[id.index()] = true;
+        }
+        Ok(Engine {
+            graph,
+            nodes,
+            awake,
+            round: 0,
+            stats: SimStats::new(),
+            tx: (0..n).map(|_| None).collect(),
+            stamp: vec![u64::MAX; n],
+            heard: vec![0; n],
+            last_tx: vec![0; n],
+            loss: None,
+        })
+    }
+
+    /// Injects channel noise: from now on every successful reception is
+    /// independently dropped with probability `rate` (drawn from a
+    /// stream seeded by `seed`). Models fading/interference beyond the
+    /// collision semantics; the paper's model corresponds to no loss.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rates outside `[0, 1)`.
+    pub fn set_loss(&mut self, rate: f64, seed: u64) -> Result<(), Error> {
+        if !(0.0..1.0).contains(&rate) {
+            return Err(Error::InvalidParameter {
+                reason: format!("loss rate {rate} must be in [0, 1)"),
+            });
+        }
+        self.loss = if rate == 0.0 {
+            None
+        } else {
+            Some((rate, crate::rng::stream(seed, 0xC4A5_0FF5)))
+        };
+        Ok(())
+    }
+
+    /// Executes one synchronous round and returns its outcome.
+    pub fn step(&mut self) -> RoundOutcome {
+        let round = self.round;
+        let n = self.nodes.len();
+        let mut outcome = RoundOutcome {
+            round,
+            ..RoundOutcome::default()
+        };
+
+        // Phase 1: collect transmissions from awake nodes.
+        for i in 0..n {
+            self.tx[i] = if self.awake[i] {
+                self.nodes[i].poll(round)
+            } else {
+                None
+            };
+            if let Some(msg) = &self.tx[i] {
+                outcome.transmissions += 1;
+                self.stats.transmissions += 1;
+                self.stats.bits_transmitted += msg.size_bits() as u64;
+            }
+        }
+
+        // Phase 2: per listener, count transmitting neighbors. The stamp
+        // trick confines work to the neighborhoods of transmitters.
+        let stamp_val = round;
+        for t in 0..n {
+            if self.tx[t].is_none() {
+                continue;
+            }
+            for &v in self.graph.neighbors(NodeId::new(t)) {
+                let vi = v.index();
+                if self.stamp[vi] != stamp_val {
+                    self.stamp[vi] = stamp_val;
+                    self.heard[vi] = 0;
+                }
+                self.heard[vi] += 1;
+                self.last_tx[vi] = u32::try_from(t).expect("node count fits u32");
+            }
+        }
+
+        // Phase 3: deliver to listeners with exactly one transmitting
+        // neighbor; transmitters hear nothing (half-duplex); sleeping
+        // nodes wake on their first reception.
+        for v in 0..n {
+            if self.stamp[v] != stamp_val || self.tx[v].is_some() {
+                continue;
+            }
+            if self.heard[v] == 1 {
+                if let Some((rate, rng)) = &mut self.loss {
+                    if rng.gen_bool(*rate) {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                }
+                let t = self.last_tx[v] as usize;
+                // `tx[t]` is Some by construction of `last_tx`.
+                let msg = self.tx[t].as_ref().expect("recorded transmitter sent");
+                if !self.awake[v] {
+                    self.awake[v] = true;
+                    self.stats.wakeups += 1;
+                }
+                self.nodes[v].receive(round, msg);
+                outcome.receptions += 1;
+                self.stats.receptions += 1;
+            } else {
+                outcome.collisions += 1;
+                self.stats.collisions += 1;
+            }
+        }
+
+        self.round += 1;
+        self.stats.rounds += 1;
+        outcome
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until `pred(self)` holds, checking after every round, for at
+    /// most `max_rounds` rounds. Returns `true` if the predicate held.
+    pub fn run_until(&mut self, max_rounds: u64, mut pred: impl FnMut(&Self) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        for _ in 0..max_rounds {
+            self.step();
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs until every node reports [`Node::is_done`], for at most
+    /// `max_rounds` rounds. Returns `true` on success.
+    pub fn run_until_all_done(&mut self, max_rounds: u64) -> bool {
+        self.run_until(max_rounds, |e| e.nodes.iter().all(Node::is_done))
+    }
+
+    /// The round about to be executed (0 before the first [`Engine::step`]).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The simulated topology (harness-side observation only; protocol
+    /// nodes have no access to this).
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Immutable access to a node's state machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// All node state machines, indexed by node id.
+    #[must_use]
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Whether a node is currently awake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_awake(&self, id: NodeId) -> bool {
+        self.awake[id.index()]
+    }
+
+    /// Wakes a node from outside the radio channel — models an external
+    /// event (e.g. a packet arriving at the node's application layer in
+    /// the dynamic-arrival extension). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn wake(&mut self, id: NodeId) {
+        if !self.awake[id.index()] {
+            self.awake[id.index()] = true;
+            self.stats.wakeups += 1;
+        }
+    }
+
+    /// Mutable access to a node's state machine, for harness-side
+    /// injection (external arrivals, fault injection). Protocol code
+    /// never sees this — it is a tool of the omniscient harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Consumes the engine and returns the node state machines, for
+    /// harness-side inspection after a run.
+    #[must_use]
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    /// Transmits `plan[round]` each round; records receptions.
+    struct Scripted {
+        plan: Vec<Option<u32>>,
+        received: Vec<(u64, u32)>,
+    }
+
+    impl Scripted {
+        fn new(plan: Vec<Option<u32>>) -> Self {
+            Scripted {
+                plan,
+                received: Vec::new(),
+            }
+        }
+
+        fn silent() -> Self {
+            Scripted::new(Vec::new())
+        }
+    }
+
+    impl Node for Scripted {
+        type Msg = u32;
+        fn poll(&mut self, round: u64) -> Option<u32> {
+            self.plan.get(round as usize).copied().flatten()
+        }
+        fn receive(&mut self, round: u64, msg: &u32) {
+            self.received.push((round, *msg));
+        }
+    }
+
+    fn all_awake(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn unique_transmitter_is_received() {
+        // path 0-1-2; node 0 transmits in round 0.
+        let g = topology::path(3).unwrap();
+        let nodes = vec![
+            Scripted::new(vec![Some(7)]),
+            Scripted::silent(),
+            Scripted::silent(),
+        ];
+        let mut e = Engine::new(g, nodes, all_awake(3)).unwrap();
+        let out = e.step();
+        assert_eq!(out.transmissions, 1);
+        assert_eq!(out.receptions, 1);
+        assert_eq!(out.collisions, 0);
+        assert_eq!(e.node(NodeId::new(1)).received, vec![(0, 7)]);
+        assert!(e.node(NodeId::new(2)).received.is_empty());
+    }
+
+    #[test]
+    fn two_transmitters_collide_without_detection() {
+        // star: center 0, leaves 1 and 2 both transmit.
+        let g = topology::star(3).unwrap();
+        let nodes = vec![
+            Scripted::silent(),
+            Scripted::new(vec![Some(1)]),
+            Scripted::new(vec![Some(2)]),
+        ];
+        let mut e = Engine::new(g, nodes, all_awake(3)).unwrap();
+        let out = e.step();
+        assert_eq!(out.receptions, 0);
+        assert_eq!(out.collisions, 1); // the center lost a reception
+        assert!(e.node(NodeId::new(0)).received.is_empty());
+    }
+
+    #[test]
+    fn transmitter_does_not_receive() {
+        // path 0-1: both transmit simultaneously; neither receives.
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new(vec![Some(1)]),
+            Scripted::new(vec![Some(2)]),
+        ];
+        let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
+        let out = e.step();
+        assert_eq!(out.receptions, 0);
+        // Neither counts as a "collision" either: both were transmitting.
+        assert_eq!(out.collisions, 0);
+        assert!(e.node(NodeId::new(0)).received.is_empty());
+        assert!(e.node(NodeId::new(1)).received.is_empty());
+    }
+
+    #[test]
+    fn sleeping_node_wakes_on_first_reception_and_not_before() {
+        // path 0-1-2, only node 0 awake; node 1 sleeps but still receives
+        // (and wakes); node 2 stays asleep (its only neighbor 1 is silent).
+        let g = topology::path(3).unwrap();
+        let nodes = vec![
+            Scripted::new(vec![Some(9)]),
+            Scripted::new(vec![None, Some(5)]), // would transmit in round 1 if awake
+            Scripted::silent(),
+        ];
+        let mut e = Engine::new(g, nodes, [NodeId::new(0)]).unwrap();
+        assert!(!e.is_awake(NodeId::new(1)));
+        e.step();
+        assert!(e.is_awake(NodeId::new(1)));
+        assert_eq!(e.stats().wakeups, 1);
+        assert!(!e.is_awake(NodeId::new(2)));
+        // Node 1 is awake now, so its round-1 transmission goes out.
+        let out = e.step();
+        assert_eq!(out.transmissions, 1);
+        assert!(e.is_awake(NodeId::new(2)));
+        assert_eq!(e.node(NodeId::new(2)).received, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn sleeping_node_is_not_polled() {
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new(vec![Some(1), Some(1)]),
+            Scripted::new(vec![Some(99)]), // asleep: must NOT transmit in round 0
+        ];
+        let mut e = Engine::new(g, nodes, [NodeId::new(0)]).unwrap();
+        let out = e.step();
+        // If the sleeper had been polled, both would transmit and nothing
+        // would be received.
+        assert_eq!(out.transmissions, 1);
+        assert_eq!(out.receptions, 1);
+    }
+
+    #[test]
+    fn node_count_mismatch_rejected() {
+        let g = topology::path(3).unwrap();
+        let nodes = vec![Scripted::silent()];
+        assert!(matches!(
+            Engine::new(g, nodes, []),
+            Err(Error::NodeCountMismatch { nodes: 1, graph: 3 })
+        ));
+    }
+
+    #[test]
+    fn awake_id_out_of_range_rejected() {
+        let g = topology::path(2).unwrap();
+        let nodes = vec![Scripted::silent(), Scripted::silent()];
+        assert!(matches!(
+            Engine::new(g, nodes, [NodeId::new(5)]),
+            Err(Error::NodeOutOfRange { node: 5, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let g = topology::path(2).unwrap();
+        let nodes = vec![Scripted::silent(), Scripted::silent()];
+        let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
+        let reached = e.run_until(100, |e| e.round() >= 5);
+        assert!(reached);
+        assert_eq!(e.round(), 5);
+    }
+
+    #[test]
+    fn full_loss_is_rejected_and_zero_is_noop() {
+        let g = topology::path(2).unwrap();
+        let nodes = vec![Scripted::new(vec![Some(1)]), Scripted::silent()];
+        let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
+        assert!(e.set_loss(1.0, 0).is_err());
+        assert!(e.set_loss(-0.1, 0).is_err());
+        e.set_loss(0.0, 0).unwrap();
+        e.step();
+        assert_eq!(e.stats().receptions, 1);
+        assert_eq!(e.stats().dropped, 0);
+    }
+
+    #[test]
+    fn loss_drops_about_the_right_fraction() {
+        // Star hub receives one message per round from a lone leaf; with
+        // 30% loss over 1000 rounds, ~300 drops.
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new((0..1000).map(|_| Some(7)).collect()),
+            Scripted::silent(),
+        ];
+        let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
+        e.set_loss(0.3, 42).unwrap();
+        e.run(1000);
+        let dropped = e.stats().dropped;
+        assert!((200..400).contains(&dropped), "dropped {dropped}");
+        assert_eq!(e.stats().receptions + dropped, 1000);
+    }
+
+    #[test]
+    fn loss_is_seed_deterministic() {
+        // Compare the exact reception pattern, not a summary statistic.
+        let run = |seed| -> Vec<(u64, u32)> {
+            let g = topology::path(2).unwrap();
+            let nodes = vec![
+                Scripted::new((0..100).map(|_| Some(7)).collect()),
+                Scripted::silent(),
+            ];
+            let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
+            e.set_loss(0.5, seed).unwrap();
+            e.run(100);
+            e.node(NodeId::new(1)).received.clone()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn stats_accumulate_bits() {
+        let g = topology::path(2).unwrap();
+        let nodes = vec![Scripted::new(vec![Some(1), Some(2)]), Scripted::silent()];
+        let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
+        e.run(2);
+        assert_eq!(e.stats().transmissions, 2);
+        assert_eq!(e.stats().bits_transmitted, 64); // two u32 messages
+        assert_eq!(e.stats().rounds, 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types shared by the simulator.
+
+use std::error;
+use std::fmt;
+
+/// Errors produced while constructing graphs, topologies or engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A graph was requested with zero nodes.
+    EmptyGraph,
+    /// An edge endpoint referred to a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the radio model has no self-edges.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// A topology parameter was invalid (e.g. zero length, probability
+    /// outside `[0, 1]`).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A randomized topology generator failed to produce a connected graph
+    /// within its retry budget.
+    DisconnectedTopology {
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+    /// The set of nodes handed to the engine does not match the graph size.
+    NodeCountMismatch {
+        /// Number of protocol state machines supplied.
+        nodes: usize,
+        /// Number of graph vertices.
+        graph: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyGraph => write!(f, "graph must have at least one node"),
+            Error::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph of {n} nodes")
+            }
+            Error::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            Error::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            Error::DisconnectedTopology { attempts } => write!(
+                f,
+                "failed to generate a connected topology after {attempts} attempts"
+            ),
+            Error::NodeCountMismatch { nodes, graph } => write!(
+                f,
+                "engine given {nodes} protocol nodes for a graph of {graph} vertices"
+            ),
+        }
+    }
+}
+
+impl error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let cases = [
+            Error::EmptyGraph,
+            Error::NodeOutOfRange { node: 7, n: 3 },
+            Error::SelfLoop { node: 1 },
+            Error::InvalidParameter {
+                reason: "p must be in [0,1]".into(),
+            },
+            Error::DisconnectedTopology { attempts: 5 },
+            Error::NodeCountMismatch { nodes: 2, graph: 3 },
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

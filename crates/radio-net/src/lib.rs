@@ -1,0 +1,91 @@
+//! # radio-net
+//!
+//! A collision-accurate, discrete-round simulator for multi-hop **radio
+//! networks** in the classical Chlamtac–Kutten / Bar-Yehuda–Goldreich–Itai
+//! model, as used by Khabbazian & Kowalski, *Time-efficient randomized
+//! multiple-message broadcast in radio networks* (PODC 2011).
+//!
+//! ## Model
+//!
+//! The network is an undirected graph. Time proceeds in synchronous rounds.
+//! In every round each awake node either transmits one message or listens.
+//! A listening node **receives** a message in a round if and only if
+//! *exactly one* of its neighbors transmits in that round; otherwise it
+//! hears nothing — there is **no collision detection** (silence and
+//! collision are indistinguishable). A transmitting node receives nothing
+//! (half-duplex). Sleeping nodes never transmit but are woken by their
+//! first successful reception, exactly like the paper's wake-up rule.
+//!
+//! ## Crate layout
+//!
+//! * [`graph`] — immutable undirected graphs with distance/diameter queries.
+//! * [`topology`] — generators for the standard experiment families
+//!   (paths, grids, random graphs, unit-disk graphs, trees, …).
+//! * [`engine`] — the round loop: [`engine::Engine`] drives values
+//!   implementing [`engine::Node`] and enforces the collision semantics in
+//!   exactly one place.
+//! * [`rng`] — deterministic per-node random streams so every simulation is
+//!   reproducible from a single `u64` seed.
+//! * [`stats`] — transmission/reception/collision accounting.
+//! * [`viz`] — degree statistics and GraphViz export for harness-side
+//!   inspection.
+//!
+//! ## Example
+//!
+//! A one-shot network: node 0 transmits once, everyone adjacent hears it.
+//!
+//! ```
+//! use radio_net::engine::{Engine, Node};
+//! use radio_net::graph::NodeId;
+//! use radio_net::message::MessageSize;
+//! use radio_net::topology;
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping;
+//! impl MessageSize for Ping {
+//!     fn size_bits(&self) -> usize { 1 }
+//! }
+//!
+//! struct Beacon { is_source: bool, heard: bool, sent: bool }
+//! impl Node for Beacon {
+//!     type Msg = Ping;
+//!     fn poll(&mut self, _round: u64) -> Option<Ping> {
+//!         if self.is_source && !self.sent {
+//!             self.sent = true;
+//!             return Some(Ping);
+//!         }
+//!         None
+//!     }
+//!     fn receive(&mut self, _round: u64, _msg: &Ping) { self.heard = true; }
+//! }
+//!
+//! # fn main() -> Result<(), radio_net::error::Error> {
+//! let graph = topology::path(3)?;
+//! let nodes = (0..3)
+//!     .map(|i| Beacon { is_source: i == 0, heard: false, sent: false })
+//!     .collect();
+//! let mut engine = Engine::new(graph, nodes, [NodeId::new(0)])?;
+//! engine.run(1);
+//! assert!(engine.node(NodeId::new(1)).heard); // neighbor of the source
+//! assert!(!engine.node(NodeId::new(2)).heard); // two hops away
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod graph;
+pub mod message;
+pub mod rng;
+pub mod stats;
+pub mod topology;
+pub mod viz;
+
+pub use engine::{Engine, Node};
+pub use error::Error;
+pub use graph::{Graph, NodeId};
+pub use message::MessageSize;
+pub use stats::SimStats;

@@ -1,0 +1,76 @@
+//! Message-size accounting.
+//!
+//! The paper measures complexity in rounds but constrains every transmitted
+//! message to `O(b)` bits, where `b ≥ log n` is the maximum packet size.
+//! Implementing [`MessageSize`] for protocol messages lets the engine track
+//! the total number of bits on the air, so experiments can verify that the
+//! network-coded messages stay within the model's message-size budget
+//! (coefficient header of `⌈log n⌉` bits + `b`-bit payload).
+
+/// Size, in bits, of a message as it would appear on the radio channel.
+///
+/// ```
+/// use radio_net::message::MessageSize;
+///
+/// #[derive(Clone, Debug)]
+/// struct Hello { id: u32 }
+/// impl MessageSize for Hello {
+///     fn size_bits(&self) -> usize { 32 }
+/// }
+/// assert_eq!(Hello { id: 7 }.size_bits(), 32);
+/// ```
+pub trait MessageSize {
+    /// Number of bits this message occupies on the channel.
+    fn size_bits(&self) -> usize;
+}
+
+macro_rules! impl_message_size_for_primitive {
+    ($($t:ty),*) => {
+        $(
+            impl MessageSize for $t {
+                fn size_bits(&self) -> usize {
+                    std::mem::size_of::<$t>() * 8
+                }
+            }
+        )*
+    };
+}
+
+impl_message_size_for_primitive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MessageSize for bool {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for () {
+    fn size_bits(&self) -> usize {
+        0
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn size_bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageSize::size_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(0u8.size_bits(), 8);
+        assert_eq!(0u64.size_bits(), 64);
+        assert_eq!(true.size_bits(), 1);
+        assert_eq!(().size_bits(), 0);
+    }
+
+    #[test]
+    fn option_adds_presence_bit() {
+        assert_eq!(None::<u8>.size_bits(), 1);
+        assert_eq!(Some(1u8).size_bits(), 9);
+    }
+}

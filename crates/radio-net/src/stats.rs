@@ -1,0 +1,77 @@
+//! Channel-usage accounting collected by the engine.
+
+/// Aggregate statistics over a simulation run.
+///
+/// All counters are cumulative since engine construction. "Collisions" are
+/// counted from the *listener's* perspective: a listening node whose
+/// neighborhood contained two or more simultaneous transmitters lost a
+/// potential reception in that round (it cannot itself detect this — the
+/// model has no collision detection — but the omniscient harness can).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// Total transmissions (one per transmitting node per round).
+    pub transmissions: u64,
+    /// Total successful receptions (unique transmitting neighbor).
+    pub receptions: u64,
+    /// Listener-rounds in which two or more neighbors transmitted.
+    pub collisions: u64,
+    /// Total bits put on the air (sum of message sizes over transmissions).
+    pub bits_transmitted: u64,
+    /// Number of wake-up events (sleeping node receiving its first message).
+    pub wakeups: u64,
+    /// Receptions dropped by injected channel noise (see
+    /// [`crate::engine::Engine::set_loss`]); 0 in the paper's clean
+    /// model.
+    pub dropped: u64,
+}
+
+impl SimStats {
+    /// Creates a zeroed statistics record.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Receptions per transmission; a crude measure of how much of the
+    /// channel's activity did useful work. `None` if nothing was sent.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> Option<f64> {
+        if self.transmissions == 0 {
+            None
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            Some(self.receptions as f64 / self.transmissions as f64)
+        }
+    }
+}
+
+/// Per-round outcome returned by [`crate::engine::Engine::step`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// The round that was just executed.
+    pub round: u64,
+    /// Number of nodes that transmitted this round.
+    pub transmissions: usize,
+    /// Number of successful receptions this round.
+    pub receptions: usize,
+    /// Number of listeners that lost a reception to a collision this round.
+    pub collisions: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero() {
+        assert_eq!(SimStats::new().delivery_ratio(), None);
+        let s = SimStats {
+            transmissions: 4,
+            receptions: 2,
+            ..SimStats::new()
+        };
+        assert_eq!(s.delivery_ratio(), Some(0.5));
+    }
+}

@@ -1,0 +1,317 @@
+//! Deterministic topology families.
+
+use crate::error::Error;
+use crate::graph::Graph;
+
+fn require(cond: bool, reason: &str) -> Result<(), Error> {
+    if cond {
+        Ok(())
+    } else {
+        Err(Error::InvalidParameter {
+            reason: reason.to_string(),
+        })
+    }
+}
+
+/// Simple path `0 — 1 — … — (n-1)`. Diameter `n-1`, Δ = 2 (for `n ≥ 3`).
+///
+/// # Errors
+///
+/// Rejects `n == 0`.
+pub fn path(n: usize) -> Result<Graph, Error> {
+    require(n >= 1, "path requires n >= 1")?;
+    Graph::from_edges(n, (1..n).map(|i| (i - 1, i)))
+}
+
+/// Cycle of `n ≥ 3` nodes.
+///
+/// # Errors
+///
+/// Rejects `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, Error> {
+    require(n >= 3, "cycle requires n >= 3")?;
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// Star with hub `0` and `n-1` leaves. Diameter 2, Δ = `n-1`.
+///
+/// # Errors
+///
+/// Rejects `n < 2`.
+pub fn star(n: usize) -> Result<Graph, Error> {
+    require(n >= 2, "star requires n >= 2")?;
+    Graph::from_edges(n, (1..n).map(|i| (0, i)))
+}
+
+/// Complete graph `K_n`. Diameter 1, Δ = `n-1`.
+///
+/// # Errors
+///
+/// Rejects `n == 0`.
+pub fn complete(n: usize) -> Result<Graph, Error> {
+    require(n >= 1, "complete graph requires n >= 1")?;
+    Graph::from_edges(n, (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))))
+}
+
+/// `rows × cols` grid; node `(r, c)` has index `r * cols + c`.
+/// Diameter `rows + cols - 2`, Δ ≤ 4.
+///
+/// # Errors
+///
+/// Rejects empty dimensions.
+pub fn grid2d(rows: usize, cols: usize) -> Result<Graph, Error> {
+    require(rows >= 1 && cols >= 1, "grid requires rows, cols >= 1")?;
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, edges)
+}
+
+/// Complete binary tree in heap layout: node `i` has children `2i+1`,
+/// `2i+2`. Δ ≤ 3, diameter `Θ(log n)`.
+///
+/// # Errors
+///
+/// Rejects `n == 0`.
+pub fn binary_tree(n: usize) -> Result<Graph, Error> {
+    require(n >= 1, "binary tree requires n >= 1")?;
+    Graph::from_edges(n, (1..n).map(|i| ((i - 1) / 2, i)))
+}
+
+/// Two `clique`-cliques joined by a path of `bridge` intermediate nodes.
+///
+/// Layout: nodes `0..clique` form the first clique, the next `bridge`
+/// nodes form the path, the last `clique` nodes form the second clique.
+/// With `bridge == 0` the two cliques are joined by a single edge.
+///
+/// # Errors
+///
+/// Rejects `clique < 1`.
+pub fn dumbbell(clique: usize, bridge: usize) -> Result<Graph, Error> {
+    require(clique >= 1, "dumbbell requires clique >= 1")?;
+    let n = 2 * clique + bridge;
+    let mut edges = Vec::new();
+    // First clique.
+    for i in 0..clique {
+        for j in i + 1..clique {
+            edges.push((i, j));
+        }
+    }
+    // Second clique.
+    let base = clique + bridge;
+    for i in 0..clique {
+        for j in i + 1..clique {
+            edges.push((base + i, base + j));
+        }
+    }
+    // Bridge path, attached at node clique-1 and node base.
+    let mut prev = clique - 1;
+    for b in 0..bridge {
+        edges.push((prev, clique + b));
+        prev = clique + b;
+    }
+    edges.push((prev, base));
+    Graph::from_edges(n, edges)
+}
+
+/// Clique of `clique` nodes with a pendant path of `tail` nodes attached
+/// to node 0. The classic high-degree-core / long-tail stress topology.
+///
+/// # Errors
+///
+/// Rejects `clique < 1`.
+pub fn lollipop(clique: usize, tail: usize) -> Result<Graph, Error> {
+    require(clique >= 1, "lollipop requires clique >= 1")?;
+    let n = clique + tail;
+    let mut edges = Vec::new();
+    for i in 0..clique {
+        for j in i + 1..clique {
+            edges.push((i, j));
+        }
+    }
+    let mut prev = 0;
+    for t in 0..tail {
+        edges.push((prev, clique + t));
+        prev = clique + t;
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// `d`-dimensional hypercube on `2^d` nodes: `i ~ j` iff they differ in
+/// exactly one bit. Diameter `d`, Δ = `d` — the classic
+/// logarithmic-diameter, logarithmic-degree family.
+///
+/// # Errors
+///
+/// Rejects `d == 0` or `d > 20`.
+pub fn hypercube(d: usize) -> Result<Graph, Error> {
+    require(d >= 1, "hypercube requires d >= 1")?;
+    require(d <= 20, "hypercube dimension capped at 20")?;
+    let n = 1usize << d;
+    let edges = (0..n).flat_map(|i| (0..d).filter_map(move |b| {
+        let j = i ^ (1 << b);
+        (i < j).then_some((i, j))
+    }));
+    Graph::from_edges(n, edges)
+}
+
+/// `rows × cols` torus (grid with wraparound). Δ ≤ 4, diameter
+/// `⌊rows/2⌋ + ⌊cols/2⌋`, vertex-transitive — removes the grid's
+/// boundary effects.
+///
+/// # Errors
+///
+/// Rejects dimensions below 3 (wraparound would duplicate edges).
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, Error> {
+    require(rows >= 3 && cols >= 3, "torus requires rows, cols >= 3")?;
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((idx(r, c), idx(r, (c + 1) % cols)));
+            edges.push((idx(r, c), idx((r + 1) % rows, c)));
+        }
+    }
+    Graph::from_edges(rows * cols, edges)
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each carrying `legs`
+/// pendant leaves. Spine nodes are `0..spine`; the leaves of spine node
+/// `s` are `spine + s*legs .. spine + (s+1)*legs`.
+///
+/// # Errors
+///
+/// Rejects `spine < 1`.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph, Error> {
+    require(spine >= 1, "caterpillar requires spine >= 1")?;
+    let n = spine + spine * legs;
+    let mut edges: Vec<(usize, usize)> = (1..spine).map(|i| (i - 1, i)).collect();
+    for s in 0..spine {
+        for l in 0..legs {
+            edges.push((s, spine + s * legs + l));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5).unwrap();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.max_degree(), 2);
+        assert!(path(0).is_err());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6).unwrap();
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.diameter(), Some(3));
+        assert_eq!(g.max_degree(), 2);
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10).unwrap();
+        assert_eq!(g.degree(NodeId::new(0)), 9);
+        assert_eq!(g.diameter(), Some(2));
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 4).unwrap();
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(g.diameter(), Some(5));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7).unwrap();
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(1)), 3);
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let g = dumbbell(4, 3).unwrap();
+        assert_eq!(g.len(), 11);
+        assert!(g.is_connected());
+        // diameter: across both cliques and the bridge.
+        assert_eq!(g.diameter(), Some(2 + 3 + 1));
+        let zero_bridge = dumbbell(3, 0).unwrap();
+        assert!(zero_bridge.is_connected());
+        assert_eq!(zero_bridge.len(), 6);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(5, 4).unwrap();
+        assert_eq!(g.len(), 9);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 5); // node 0: 4 clique + 1 tail
+        assert_eq!(g.diameter(), Some(5));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.edge_count(), 32); // n*d/2
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.max_degree(), 4);
+        assert!(hypercube(0).is_err());
+        assert!(hypercube(21).is_err());
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(4, 5).unwrap();
+        assert_eq!(g.len(), 20);
+        assert_eq!(g.edge_count(), 40);
+        assert_eq!(g.diameter(), Some(2 + 2));
+        assert_eq!(g.max_degree(), 4);
+        // Vertex-transitive: all degrees equal.
+        for v in g.node_ids() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(torus(2, 5).is_err());
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3).unwrap();
+        assert_eq!(g.len(), 16);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 5); // interior spine: 2 spine + 3 legs
+        assert_eq!(g.diameter(), Some(5)); // leaf - spine0 ... spine3 - leaf
+    }
+}

@@ -1,0 +1,294 @@
+//! Randomized topology families.
+//!
+//! All generators are deterministic functions of `(parameters, seed)`;
+//! randomized families that can come out disconnected are resampled up to
+//! [`MAX_ATTEMPTS`] times.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::Error;
+use crate::graph::Graph;
+use crate::rng::{self, salts};
+
+/// Retry budget for connectivity-conditioned generators.
+pub const MAX_ATTEMPTS: usize = 64;
+
+fn invalid(reason: impl Into<String>) -> Error {
+    Error::InvalidParameter {
+        reason: reason.into(),
+    }
+}
+
+/// Erdős–Rényi `G(n, p)`, resampled until connected.
+///
+/// # Errors
+///
+/// Rejects `n == 0` or `p ∉ [0, 1]`; returns
+/// [`Error::DisconnectedTopology`] if no connected sample is found within
+/// [`MAX_ATTEMPTS`] (choose `p ≳ ln n / n` to avoid this).
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Result<Graph, Error> {
+    if n == 0 {
+        return Err(invalid("gnp requires n >= 1"));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(invalid("gnp requires p in [0, 1]"));
+    }
+    let mut rng = rng::stream(seed, salts::TOPOLOGY);
+    for _ in 0..MAX_ATTEMPTS {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.gen_bool(p) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, edges)?;
+        if g.is_connected() {
+            return Ok(g);
+        }
+    }
+    Err(Error::DisconnectedTopology {
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Uniformly random labelled tree on `n` nodes, sampled via a random
+/// Prüfer sequence (exact uniform distribution over the `n^(n-2)` trees).
+///
+/// # Errors
+///
+/// Rejects `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Result<Graph, Error> {
+    if n == 0 {
+        return Err(invalid("random tree requires n >= 1"));
+    }
+    if n == 1 {
+        return Graph::from_edges(1, []);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]);
+    }
+    let mut rng = rng::stream(seed, salts::TOPOLOGY);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+
+    // Decode: degree of v = 1 + multiplicity in the sequence.
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Min-leaf decoding with a scan pointer (O(n log n)-ish, fine here).
+    let mut leaf_heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = leaf_heap.pop().expect("a leaf always exists");
+        edges.push((leaf, v));
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaf_heap.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = leaf_heap.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = leaf_heap.pop().expect("two leaves remain");
+    edges.push((a, b));
+    Graph::from_edges(n, edges)
+}
+
+/// Random unit-disk graph: `n` points uniform on the unit square, edges
+/// between pairs at Euclidean distance ≤ `radius`; resampled until
+/// connected. The standard abstraction of an ad-hoc wireless deployment.
+///
+/// # Errors
+///
+/// Rejects `n == 0` or non-positive `radius`; returns
+/// [`Error::DisconnectedTopology`] after [`MAX_ATTEMPTS`] failed samples
+/// (choose `radius ≳ sqrt(ln n / n)`).
+pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<Graph, Error> {
+    if n == 0 {
+        return Err(invalid("unit disk requires n >= 1"));
+    }
+    if radius <= 0.0 || !radius.is_finite() {
+        return Err(invalid("unit disk requires radius > 0"));
+    }
+    let mut rng = rng::stream(seed, salts::TOPOLOGY);
+    let r2 = radius * radius;
+    for _ in 0..MAX_ATTEMPTS {
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                if dx * dx + dy * dy <= r2 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, edges)?;
+        if g.is_connected() {
+            return Ok(g);
+        }
+    }
+    Err(Error::DisconnectedTopology {
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Random `d`-regular graph via the configuration model with random
+/// edge-swap repair of loops and multi-edges (the standard practical
+/// sampler; approximately uniform), resampled until connected. Gives
+/// precise control of Δ for the degree-scaling experiments.
+///
+/// # Errors
+///
+/// Rejects `n·d` odd, `d ≥ n`, or `d == 0` with `n > 1`; returns
+/// [`Error::DisconnectedTopology`] if no valid sample is found.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, Error> {
+    if n == 0 {
+        return Err(invalid("random regular requires n >= 1"));
+    }
+    if n == 1 && d == 0 {
+        return Graph::from_edges(1, []);
+    }
+    if d == 0 {
+        return Err(invalid("random regular with n > 1 requires d >= 1"));
+    }
+    if d >= n {
+        return Err(invalid("random regular requires d < n"));
+    }
+    if !(n * d).is_multiple_of(2) {
+        return Err(invalid("random regular requires n*d even"));
+    }
+    let mut rng = rng::stream(seed, salts::TOPOLOGY);
+    for _ in 0..MAX_ATTEMPTS {
+        // Stubs: node i appears d times; pair them up after a shuffle.
+        let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges: Vec<(usize, usize)> = stubs.chunks(2).map(|p| (p[0], p[1])).collect();
+
+        if repair_multigraph(&mut edges, &mut rng) {
+            let g = Graph::from_edges(n, edges)?;
+            if g.is_connected() {
+                return Ok(g);
+            }
+        }
+    }
+    Err(Error::DisconnectedTopology {
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Removes loops and duplicate edges from a pairing by random edge swaps:
+/// a bad edge `(a, b)` and a random partner `(c, d)` are rewired to
+/// `(a, d), (c, b)`. Returns `true` once the edge list is simple.
+fn repair_multigraph(edges: &mut [(usize, usize)], rng: &mut impl Rng) -> bool {
+    const MAX_PASSES: usize = 500;
+    let key = |u: usize, v: usize| (u.min(v), u.max(v));
+    for _ in 0..MAX_PASSES {
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if u == v || !seen.insert(key(u, v)) {
+                bad.push(i);
+            }
+        }
+        if bad.is_empty() {
+            return true;
+        }
+        for i in bad {
+            let j = rng.gen_range(0..edges.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = edges[i];
+            let (c, d) = edges[j];
+            edges[i] = (a, d);
+            edges[j] = (c, b);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_is_connected_and_deterministic() {
+        let g1 = gnp_connected(32, 0.3, 5).unwrap();
+        let g2 = gnp_connected(32, 0.3, 5).unwrap();
+        assert_eq!(g1, g2);
+        assert!(g1.is_connected());
+        assert!(gnp_connected(32, 0.3, 6).unwrap() != g1);
+    }
+
+    #[test]
+    fn gnp_rejects_bad_parameters() {
+        assert!(gnp_connected(0, 0.5, 1).is_err());
+        assert!(gnp_connected(4, 1.5, 1).is_err());
+        assert!(gnp_connected(4, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn gnp_sparse_fails_connectivity() {
+        // p = 0 on n >= 2 can never be connected.
+        let err = gnp_connected(4, 0.0, 1).unwrap_err();
+        assert!(matches!(err, Error::DisconnectedTopology { .. }));
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..10 {
+            let n = 40;
+            let g = random_tree(n, seed).unwrap();
+            assert_eq!(g.edge_count(), n - 1);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_tree_small_cases() {
+        assert_eq!(random_tree(1, 0).unwrap().len(), 1);
+        let g2 = random_tree(2, 0).unwrap();
+        assert_eq!(g2.edge_count(), 1);
+        let g3 = random_tree(3, 0).unwrap();
+        assert_eq!(g3.edge_count(), 2);
+        assert!(g3.is_connected());
+    }
+
+    #[test]
+    fn unit_disk_connected() {
+        let g = unit_disk(48, 0.35, 3).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g, unit_disk(48, 0.35, 3).unwrap());
+    }
+
+    #[test]
+    fn unit_disk_rejects_bad_radius() {
+        assert!(unit_disk(4, 0.0, 1).is_err());
+        assert!(unit_disk(4, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn random_regular_has_exact_degree() {
+        for &(n, d) in &[(20, 3), (24, 4), (16, 5)] {
+            let g = random_regular(n, d, 7).unwrap();
+            assert!(g.is_connected());
+            for v in g.node_ids() {
+                assert_eq!(g.degree(v), d, "node {v} in {n}-node {d}-regular");
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_bad_parameters() {
+        assert!(random_regular(5, 3, 1).is_err()); // odd n*d
+        assert!(random_regular(4, 4, 1).is_err()); // d >= n
+        assert!(random_regular(4, 0, 1).is_err());
+        assert_eq!(random_regular(1, 0, 1).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Harness-side graph inspection: degree statistics and GraphViz (DOT)
+//! export for debugging topologies and illustrating experiments.
+
+use crate::graph::Graph;
+
+/// Degree statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree (Δ).
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// `histogram[d]` = number of nodes with degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// Computes degree statistics.
+///
+/// ```
+/// use radio_net::topology;
+/// use radio_net::viz::degree_stats;
+///
+/// # fn main() -> Result<(), radio_net::error::Error> {
+/// let g = topology::star(5)?;
+/// let s = degree_stats(&g);
+/// assert_eq!(s.max, 4);
+/// assert_eq!(s.min, 1);
+/// assert_eq!(s.histogram[1], 4); // the four leaves
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let degrees: Vec<usize> = graph.node_ids().map(|v| graph.degree(v)).collect();
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let min = degrees.iter().copied().min().unwrap_or(0);
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degrees {
+        histogram[d] += 1;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len().max(1) as f64;
+    DegreeStats {
+        min,
+        max,
+        mean,
+        histogram,
+    }
+}
+
+/// Renders the graph in GraphViz DOT format. Optional per-node labels
+/// (e.g. BFS distances) are attached when provided.
+///
+/// ```
+/// use radio_net::topology;
+/// use radio_net::viz::to_dot;
+///
+/// # fn main() -> Result<(), radio_net::error::Error> {
+/// let g = topology::path(3)?;
+/// let dot = to_dot(&g, None);
+/// assert!(dot.starts_with("graph radio"));
+/// assert!(dot.contains("0 -- 1"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot(graph: &Graph, labels: Option<&[String]>) -> String {
+    let mut out = String::from("graph radio {\n  node [shape=circle];\n");
+    if let Some(labels) = labels {
+        for (i, label) in labels.iter().enumerate() {
+            out.push_str(&format!("  {i} [label=\"{label}\"];\n"));
+        }
+    }
+    for u in graph.node_ids() {
+        for &v in graph.neighbors(u) {
+            if u < v {
+                out.push_str(&format!("  {} -- {};\n", u.index(), v.index()));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn degree_stats_on_grid() {
+        let g = topology::grid2d(3, 3).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 2); // corners
+        assert_eq!(s.max, 4); // center
+        assert_eq!(s.histogram[2], 4);
+        assert_eq!(s.histogram[3], 4);
+        assert_eq!(s.histogram[4], 1);
+        assert!((s.mean - 24.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_export_counts_each_edge_once() {
+        let g = topology::cycle(4).unwrap();
+        let dot = to_dot(&g, None);
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_with_labels() {
+        let g = topology::path(2).unwrap();
+        let dot = to_dot(&g, Some(&["root".into(), "leaf".into()]));
+        assert!(dot.contains("label=\"root\""));
+        assert!(dot.contains("label=\"leaf\""));
+    }
+
+    #[test]
+    fn single_node_stats() {
+        let g = topology::path(1).unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.histogram, vec![1]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Model-checking the engine against a brute-force reference
+//! implementation of the radio semantics: for random graphs and random
+//! transmission scripts, the engine's deliveries must match the
+//! definition "a listener receives iff exactly one neighbor transmits",
+//! with half-duplex transmitters and wake-on-first-reception.
+
+use proptest::prelude::*;
+use radio_net::engine::{Engine, Node};
+use radio_net::graph::{Graph, NodeId};
+
+/// A node that transmits per a fixed script and records receptions.
+struct Scripted {
+    /// `plan[r]` = message to transmit in round `r` (if any).
+    plan: Vec<Option<u32>>,
+    received: Vec<(u64, u32)>,
+}
+
+impl Node for Scripted {
+    type Msg = u32;
+    fn poll(&mut self, round: u64) -> Option<u32> {
+        self.plan.get(round as usize).copied().flatten()
+    }
+    fn receive(&mut self, round: u64, msg: &u32) {
+        self.received.push((round, *msg));
+    }
+}
+
+/// Brute-force reference: replays the same script independently.
+fn reference(
+    n: usize,
+    edges: &[(usize, usize)],
+    plans: &[Vec<Option<u32>>],
+    awake0: &[bool],
+    rounds: usize,
+) -> Vec<Vec<(u64, u32)>> {
+    let mut adj = vec![vec![false; n]; n];
+    for &(u, v) in edges {
+        adj[u][v] = true;
+        adj[v][u] = true;
+    }
+    let mut awake = awake0.to_vec();
+    let mut received = vec![Vec::new(); n];
+    for r in 0..rounds {
+        // Awake nodes transmit per their script.
+        let tx: Vec<Option<u32>> = (0..n)
+            .map(|i| if awake[i] { plans[i].get(r).copied().flatten() } else { None })
+            .collect();
+        let mut wakes = Vec::new();
+        for v in 0..n {
+            if tx[v].is_some() {
+                continue; // half-duplex
+            }
+            let transmitters: Vec<usize> =
+                (0..n).filter(|&u| adj[u][v] && tx[u].is_some()).collect();
+            if transmitters.len() == 1 {
+                received[v].push((r as u64, tx[transmitters[0]].unwrap()));
+                if !awake[v] {
+                    wakes.push(v);
+                }
+            }
+        }
+        for v in wakes {
+            awake[v] = true;
+        }
+    }
+    received
+}
+
+/// Strategy: a connected-ish random graph as an edge list over n nodes.
+fn arb_case() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, u64, u64)> {
+    (3usize..10).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..max_edges),
+            any::<u64>(),
+            any::<u64>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_reference((n, raw_edges, plan_seed, awake_seed) in arb_case()) {
+        let edges: Vec<(usize, usize)> = raw_edges
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let graph = Graph::from_edges(n, edges.clone()).expect("valid edges");
+        let rounds = 8usize;
+
+        // Deterministic pseudo-random plans from the seed.
+        let mut state = plan_seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let plans: Vec<Vec<Option<u32>>> = (0..n)
+            .map(|_| {
+                (0..rounds)
+                    .map(|_| {
+                        let x = next();
+                        (x % 3 == 0).then_some((x % 1000) as u32)
+                    })
+                    .collect()
+            })
+            .collect();
+        let awake0: Vec<bool> = (0..n).map(|i| awake_seed >> (i % 64) & 1 == 1).collect();
+        // At least one node awake so something can happen.
+        let mut awake0 = awake0;
+        awake0[0] = true;
+
+        let nodes: Vec<Scripted> = plans
+            .iter()
+            .map(|p| Scripted { plan: p.clone(), received: Vec::new() })
+            .collect();
+        let awake_ids: Vec<NodeId> = (0..n).filter(|&i| awake0[i]).map(NodeId::new).collect();
+        let mut engine = Engine::new(graph, nodes, awake_ids).expect("engine builds");
+        engine.run(rounds as u64);
+
+        let expect = reference(n, &edges, &plans, &awake0, rounds);
+        for (i, want) in expect.iter().enumerate() {
+            prop_assert_eq!(
+                &engine.node(NodeId::new(i)).received,
+                want,
+                "node {} receptions diverge",
+                i
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Embeds results/*.txt into EXPERIMENTS.md.
+
+Replaces each `*(results/<name>.txt)*` marker with the file's content in
+a fenced block. Idempotent only on a fresh EXPERIMENTS.md containing the
+markers; run once after `sh results/run_all.sh`.
+"""
+import pathlib
+import re
+
+root = pathlib.Path(__file__).resolve().parent.parent
+md = (root / "EXPERIMENTS.md").read_text()
+
+
+def repl(m: re.Match) -> str:
+    name = m.group(1)
+    path = root / "results" / name
+    if not path.exists():
+        return m.group(0)
+    body = path.read_text().rstrip()
+    return f"```text\n{body}\n```"
+
+
+md = re.sub(r"\*\(results/([a-z0-9_]+\.txt)\)\*", repl, md)
+(root / "EXPERIMENTS.md").write_text(md)
+print("embedded")

@@ -1,0 +1,25 @@
+//! # radio-kbcast
+//!
+//! Facade crate for the reproduction of Khabbazian & Kowalski,
+//! *Time-efficient randomized multiple-message broadcast in radio
+//! networks* (PODC 2011).
+//!
+//! This crate re-exports the workspace members so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`radio_net`] — the collision-accurate radio-network simulator.
+//! * [`gf2`] — GF(2) linear algebra and random linear network coding.
+//! * [`protocols`] — Decay, BGI broadcast, leader election, distributed
+//!   BFS.
+//! * [`kbcast`] — the paper's 4-stage k-broadcast algorithm and the
+//!   Bar-Yehuda–Israeli–Itai baseline.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use gf2;
+pub use kbcast;
+pub use protocols;
+pub use radio_net;
