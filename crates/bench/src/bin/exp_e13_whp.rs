@@ -8,6 +8,7 @@
 //! reliability datum backing every other experiment.
 
 use kbcast::runner::{run, Workload};
+use kbcast_bench::parallel::par_map_indexed;
 use kbcast_bench::table::Table;
 use kbcast_bench::Scale;
 use radio_net::topology::Topology;
@@ -34,13 +35,12 @@ fn main() {
     let mut total = 0u64;
     for (name, topo, k) in &configs {
         let n = topo.build(0).expect("topology").len();
-        let mut ok = 0u64;
-        for seed in 0..seeds {
+        let wins = par_map_indexed(usize::try_from(seeds).expect("fits"), |i| {
+            let seed = i as u64;
             let w = Workload::random(n, *k, seed);
-            if run(topo, &w, None, seed).expect("run").success {
-                ok += 1;
-            }
-        }
+            run(topo, &w, None, seed).expect("run").success
+        });
+        let ok = wins.iter().filter(|&&s| s).count() as u64;
         total_ok += ok;
         total += seeds;
         #[allow(clippy::cast_precision_loss)]

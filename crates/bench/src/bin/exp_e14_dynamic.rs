@@ -10,6 +10,7 @@
 //! analysis reappears.
 
 use kbcast::dynamic::{run_dynamic, Arrival};
+use kbcast_bench::parallel::par_map_indexed;
 use kbcast_bench::sweep::gnp_standard;
 use kbcast_bench::table::{f1, Table};
 use kbcast_bench::Scale;
@@ -42,13 +43,14 @@ fn main() {
         let mut lat = 0.0;
         let mut rpp = 0.0;
         let mut total_packets = 0usize;
-        for seed in 0..seeds {
+        let runs = par_map_indexed(usize::try_from(seeds).expect("fits"), |i| {
+            let seed = i as u64;
             let mut r = rng::stream(seed, rng::salts::WORKLOAD);
             let mut arrivals: Vec<Arrival> = (0..4)
-                .map(|i| Arrival {
+                .map(|j| Arrival {
                     round: 0,
-                    node: (i * 3) % n,
-                    payload: vec![0, i as u8],
+                    node: (j * 3) % n,
+                    payload: vec![0, j as u8],
                 })
                 .collect();
             let mut round = 0u64;
@@ -61,8 +63,11 @@ fn main() {
                     payload: vec![1, arrivals.len() as u8],
                 });
             }
-            total_packets = arrivals.len();
             let rep = run_dynamic(&topo, &arrivals, None, seed, horizon).expect("run");
+            (arrivals.len(), rep)
+        });
+        for (packets, rep) in &runs {
+            total_packets = *packets;
             if rep.success {
                 oks += 1;
                 #[allow(clippy::cast_precision_loss)]

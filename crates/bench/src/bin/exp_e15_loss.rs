@@ -9,6 +9,7 @@
 //! dissemination waves), which is where success collapses.
 
 use kbcast::runner::{run_with_options, RunOptions, Workload};
+use kbcast_bench::parallel::par_map_indexed;
 use kbcast_bench::table::{f1, f3, Table};
 use kbcast_bench::Scale;
 use radio_net::topology::Topology;
@@ -26,12 +27,10 @@ fn main() {
     let mut t = Table::new(&["loss", "success", "median rounds", "slowdown", "dropped/rx"]);
     let mut base_rounds = None;
     for &loss in &[0.0f64, 0.02, 0.05, 0.10, 0.20, 0.35] {
-        let mut ok = 0;
-        let mut rounds = Vec::new();
-        let mut drop_ratio = 0.0;
-        for seed in 0..seeds {
+        let reports = par_map_indexed(usize::try_from(seeds).expect("fits"), |i| {
+            let seed = i as u64;
             let w = Workload::random(n, k, seed);
-            let r = run_with_options(
+            run_with_options(
                 &topo,
                 &w,
                 None,
@@ -41,7 +40,12 @@ fn main() {
                     max_rounds: None,
                 },
             )
-            .expect("run");
+            .expect("run")
+        });
+        let mut ok = 0;
+        let mut rounds = Vec::new();
+        let mut drop_ratio = 0.0;
+        for r in &reports {
             if r.success {
                 ok += 1;
                 #[allow(clippy::cast_precision_loss)]

@@ -15,6 +15,7 @@
 
 use kbcast::baseline::run_bii;
 use kbcast::runner::{run, Workload};
+use kbcast_bench::parallel::par_map_indexed;
 use kbcast_bench::sweep::gnp_standard;
 use kbcast_bench::table::{f2, Table};
 use kbcast_bench::Scale;
@@ -41,14 +42,18 @@ fn main() {
         let mut c_bits = 0.0;
         let mut b_bits = 0.0;
         let mut ok = 0u32;
-        for seed in 0..seeds {
+        let pairs = par_map_indexed(usize::try_from(seeds).expect("fits"), |i| {
+            let seed = i as u64;
             let w = Workload::random(n, k, seed);
+            let r = run(&topo, &w, None, seed).expect("run");
+            let b = run_bii(&topo, &w, None, seed).expect("run");
+            (r, b)
+        });
+        for (r, b) in &pairs {
             // Payload bits delivered: every node ends with k packets of
             // 4-byte payloads.
             #[allow(clippy::cast_precision_loss)]
             let payload_bits = (k * 32 * n) as f64;
-            let r = run(&topo, &w, None, seed).expect("run");
-            let b = run_bii(&topo, &w, None, seed).expect("run");
             if !(r.success && b.success) {
                 continue;
             }

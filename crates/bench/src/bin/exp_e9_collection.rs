@@ -9,6 +9,7 @@
 
 use kbcast::runner::{run, Workload};
 use kbcast::Config;
+use kbcast_bench::parallel::par_map_indexed;
 use kbcast_bench::stats::{median, slope};
 use kbcast_bench::sweep::gnp_standard;
 use kbcast_bench::table::Table;
@@ -37,12 +38,15 @@ fn main() {
     let mut kx = Vec::new();
     let mut ry = Vec::new();
     for &k in &ks {
+        let reports = par_map_indexed(seeds, |i| {
+            let seed = i as u64;
+            let w = Workload::random(n, k, seed);
+            run(&topo, &w, None, seed).expect("run")
+        });
         let mut rounds = Vec::new();
         let mut phases = Vec::new();
         let mut ok = 0;
-        for seed in 0..seeds {
-            let w = Workload::random(n, k, seed);
-            let r = run(&topo, &w, None, seed).expect("run");
+        for r in &reports {
             if r.success {
                 ok += 1;
                 #[allow(clippy::cast_precision_loss)]

@@ -1,0 +1,168 @@
+//! **perf_smoke — simulator-throughput benchmark of the engine hot loop.**
+//!
+//! Times the canonical scenarios (grid / G(n,p) topology × single-source
+//! / spread workload) by driving `radio_net::Engine` directly with
+//! `kbcast` protocol nodes, and writes `results/BENCH_engine.json` with
+//! rounds/sec and wall milliseconds per scenario. Unlike the `exp_*`
+//! binaries (which measure *round counts*, the paper's metric), this
+//! binary measures the *simulator's own speed*, so the perf trajectory of
+//! the engine is tracked across PRs — compare the JSON against the
+//! numbers recorded in EXPERIMENTS.md §"Engine throughput".
+//!
+//! Only the stepping loop (`run_until_all_done`) is timed; topology
+//! generation, diameter probing and node construction are setup. Each
+//! scenario is repeated `reps` times (median reported) on freshly built
+//! state. `KB_SCALE=quick` lowers the repetitions, not the scenario
+//! sizes, so the recorded numbers stay comparable.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use kbcast::runner::{round_cap, Workload};
+use kbcast::{Config, KbcastNode};
+use kbcast_bench::Scale;
+use radio_net::engine::Engine;
+use radio_net::graph::NodeId;
+use radio_net::rng;
+use radio_net::topology::Topology;
+
+struct Scenario {
+    name: &'static str,
+    topology: Topology,
+    /// `None` = single source at node 0; `Some(())` is spread
+    /// (round-robin) placement.
+    spread: bool,
+    k: usize,
+}
+
+struct Measurement {
+    name: String,
+    n: usize,
+    k: usize,
+    rounds: u64,
+    wall_ms: f64,
+    rounds_per_sec: f64,
+    all_done: bool,
+}
+
+fn measure(s: &Scenario, seed: u64) -> Measurement {
+    let graph = s.topology.build(seed).expect("topology builds");
+    let n = graph.len();
+    let workload = if s.spread {
+        Workload::round_robin(n, s.k)
+    } else {
+        Workload::single_source(n, 0, s.k)
+    };
+    let diameter = graph.diameter().expect("connected");
+    let cfg = Config::for_network(n, diameter, graph.max_degree());
+    let cap = round_cap(&cfg, s.k);
+    let nodes: Vec<KbcastNode> = (0..n)
+        .map(|i| {
+            KbcastNode::new(
+                cfg,
+                i as u64,
+                workload.packets_of(i),
+                rng::stream(seed, i as u64),
+            )
+        })
+        .collect();
+    let awake: Vec<NodeId> = (0..n)
+        .filter(|&i| !workload.packets_of(i).is_empty())
+        .map(NodeId::new)
+        .collect();
+    let mut engine = Engine::new(graph, nodes, awake).expect("engine builds");
+
+    let start = Instant::now();
+    let all_done = engine.run_until_all_done(cap);
+    let wall = start.elapsed();
+
+    let rounds = engine.round();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    #[allow(clippy::cast_precision_loss)]
+    let rounds_per_sec = rounds as f64 / wall.as_secs_f64().max(1e-9);
+    Measurement {
+        name: s.name.to_string(),
+        n,
+        k: s.k,
+        rounds,
+        wall_ms,
+        rounds_per_sec,
+        all_done,
+    }
+}
+
+fn median_by<T, F: Fn(&T) -> f64>(items: &[T], key: F) -> f64 {
+    let mut v: Vec<f64> = items.iter().map(key).collect();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let reps = scale.pick(1, 3);
+    let scenarios = [
+        Scenario {
+            name: "grid64x64/single_source",
+            topology: Topology::Grid2d { rows: 64, cols: 64 },
+            spread: false,
+            k: 8,
+        },
+        Scenario {
+            name: "grid64x64/spread",
+            topology: Topology::Grid2d { rows: 64, cols: 64 },
+            spread: true,
+            k: 64,
+        },
+        Scenario {
+            name: "gnp1024/single_source",
+            topology: kbcast_bench::sweep::gnp_standard(1024),
+            spread: false,
+            k: 8,
+        },
+        Scenario {
+            name: "gnp1024/spread",
+            topology: kbcast_bench::sweep::gnp_standard(1024),
+            spread: true,
+            k: 64,
+        },
+    ];
+
+    println!("perf_smoke: engine hot-loop throughput ({reps} rep(s) per scenario, median)");
+    println!();
+    let mut json_entries = Vec::new();
+    for s in &scenarios {
+        let runs: Vec<Measurement> = (0..reps).map(|rep| measure(s, rep as u64)).collect();
+        let wall_ms = median_by(&runs, |m| m.wall_ms);
+        let rps = median_by(&runs, |m| m.rounds_per_sec);
+        let m0 = &runs[0];
+        println!(
+            "{:<26} n {:>5}  k {:>3}  rounds {:>7}  wall {:>9.2} ms  {:>12.0} rounds/s{}",
+            m0.name,
+            m0.n,
+            m0.k,
+            m0.rounds,
+            wall_ms,
+            rps,
+            if m0.all_done { "" } else { "  [CAP HIT]" },
+        );
+        let mut e = String::new();
+        write!(
+            e,
+            "    {{\"scenario\": \"{}\", \"n\": {}, \"k\": {}, \"rounds\": {}, \
+             \"wall_ms\": {:.3}, \"rounds_per_sec\": {:.1}, \"all_done\": {}}}",
+            m0.name, m0.n, m0.k, m0.rounds, wall_ms, rps, m0.all_done
+        )
+        .expect("write to string");
+        json_entries.push(e);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine_hot_loop\",\n  \"reps\": {reps},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        json_entries.join(",\n")
+    );
+    let path = "results/BENCH_engine.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e} (printing instead)\n{json}"),
+    }
+}

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod micro;
+pub mod parallel;
 pub mod stats;
 pub mod sweep;
 pub mod table;

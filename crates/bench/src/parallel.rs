@@ -1,0 +1,117 @@
+//! Deterministic parallel map over seed indices.
+//!
+//! Every experiment repeats an independent simulation per seed, so the
+//! sweep is embarrassingly parallel. Workers pull indices from a shared
+//! atomic counter and return `(index, value)` pairs; the results are
+//! sorted back into index order before aggregation, so medians and
+//! every other aggregate are **bit-identical** to a sequential run
+//! regardless of thread count or scheduling. Built on
+//! `std::thread::scope` only — no third-party thread-pool dependency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parses a `KBCAST_THREADS`-style override. Returns `None` for unset,
+/// empty, unparsable or zero values (fall back to auto-detection).
+fn threads_from(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// Number of worker threads: the `KBCAST_THREADS` environment variable
+/// if set to a positive integer, else
+/// [`std::thread::available_parallelism`].
+#[must_use]
+pub fn thread_count() -> usize {
+    threads_from(std::env::var("KBCAST_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// Applies `f` to every index in `0..len` across `threads` workers and
+/// returns the results in index order. `f(i)` must depend only on `i`
+/// (each simulation derives all randomness from its seed), which makes
+/// the output independent of the thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map_indexed_with<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, len.max(1));
+    if threads == 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut pairs: Vec<(usize, T)> = Vec::with_capacity(len);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            pairs.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// [`par_map_indexed_with`] using [`thread_count`] workers.
+pub fn par_map_indexed<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_indexed_with(thread_count(), len, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_parsing() {
+        assert_eq!(threads_from(Some("1")), Some(1));
+        assert_eq!(threads_from(Some(" 8 ")), Some(8));
+        assert_eq!(threads_from(Some("0")), None);
+        assert_eq!(threads_from(Some("lots")), None);
+        assert_eq!(threads_from(None), None);
+    }
+
+    #[test]
+    fn kbcast_threads_env_respected() {
+        // Process-global, but other tests only read it — and the whole
+        // design guarantees thread count never changes results.
+        std::env::set_var("KBCAST_THREADS", "1");
+        assert_eq!(thread_count(), 1);
+        std::env::remove_var("KBCAST_THREADS");
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn results_in_index_order_any_thread_count() {
+        let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(par_map_indexed_with(threads, 97, |i| i * i), expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map_indexed_with(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed_with(4, 1, |i| i + 1), vec![1]);
+    }
+}

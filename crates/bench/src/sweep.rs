@@ -2,11 +2,12 @@
 //! coded algorithm, the uncoded ablation and the BII baseline over a
 //! parameter grid and collect per-run records.
 
-use kbcast::baseline::{run_bii, BiiConfig};
-use kbcast::runner::{run, Workload};
+use kbcast::baseline::{run_bii_on_graph, BiiConfig};
+use kbcast::runner::{run_on_graph, RunOptions, Workload};
 use kbcast::Config;
 use radio_net::topology::Topology;
 
+use crate::parallel::par_map_indexed;
 use crate::stats::median;
 
 /// Which algorithm a record belongs to.
@@ -57,8 +58,47 @@ pub struct Point {
     pub dissem_rounds: f64,
 }
 
+/// Runs one seed of `algo` and returns `(rounds, amortized, dissem)` on
+/// success, `None` on failure. Builds the seed's topology exactly once
+/// and hands it to the `*_on_graph` entry points.
+fn run_seed(algo: Algo, topology: &Topology, n: usize, k: usize, seed: u64) -> Option<(f64, f64, f64)> {
+    let w = Workload::random(n, k, seed);
+    let g = topology.build(seed).expect("topology builds");
+    match algo {
+        Algo::Coded | Algo::Uncoded => {
+            let mut cfg =
+                Config::for_network(g.len(), g.diameter().expect("connected"), g.max_degree());
+            if algo == Algo::Uncoded {
+                cfg.group_size_override = Some(1);
+            }
+            let r = run_on_graph(g, &w, Some(cfg), seed, RunOptions::default()).expect("run");
+            r.success.then(|| {
+                #[allow(clippy::cast_precision_loss)]
+                (
+                    r.rounds_total as f64,
+                    r.amortized_rounds_per_packet(),
+                    r.stages.disseminate as f64,
+                )
+            })
+        }
+        Algo::Bii => {
+            let cfg = BiiConfig::for_network(g.len(), g.max_degree());
+            let r = run_bii_on_graph(g, &w, Some(cfg), seed).expect("run");
+            r.success.then(|| {
+                #[allow(clippy::cast_precision_loss)]
+                (r.rounds_total as f64, r.amortized_rounds_per_packet(), 0.0)
+            })
+        }
+    }
+}
+
 /// Runs `algo` on `topology` with a random `k`-packet workload for each
 /// seed in `0..seeds`, and aggregates.
+///
+/// Seeds fan out across [`crate::parallel::thread_count`] worker
+/// threads; results are collected back in seed order, so every
+/// aggregate is bit-identical to a sequential run (set
+/// `KBCAST_THREADS=1` to force one).
 ///
 /// # Panics
 ///
@@ -69,52 +109,20 @@ pub fn measure(algo: Algo, topology: &Topology, k: usize, seeds: u64) -> Point {
     let n = probe.len();
     let diameter = probe.diameter().expect("connected");
     let max_degree = probe.max_degree();
-    let mut rounds = Vec::new();
-    let mut amortized = Vec::new();
-    let mut dissem = Vec::new();
-    let mut successes = 0;
-    for seed in 0..seeds {
-        let w = Workload::random(n, k, seed);
-        match algo {
-            Algo::Coded | Algo::Uncoded => {
-                let g = topology.build(seed).expect("topology builds");
-                let mut cfg =
-                    Config::for_network(g.len(), g.diameter().expect("connected"), g.max_degree());
-                if algo == Algo::Uncoded {
-                    cfg.group_size_override = Some(1);
-                }
-                let r = run(topology, &w, Some(cfg), seed).expect("run");
-                if r.success {
-                    successes += 1;
-                    #[allow(clippy::cast_precision_loss)]
-                    rounds.push(r.rounds_total as f64);
-                    amortized.push(r.amortized_rounds_per_packet());
-                    #[allow(clippy::cast_precision_loss)]
-                    dissem.push(r.stages.disseminate as f64);
-                }
-            }
-            Algo::Bii => {
-                let g = topology.build(seed).expect("topology builds");
-                let cfg = BiiConfig::for_network(g.len(), g.max_degree());
-                let r = run_bii(topology, &w, Some(cfg), seed).expect("run");
-                if r.success {
-                    successes += 1;
-                    #[allow(clippy::cast_precision_loss)]
-                    rounds.push(r.rounds_total as f64);
-                    amortized.push(r.amortized_rounds_per_packet());
-                    dissem.push(0.0);
-                }
-            }
-        }
-    }
+    let seeds = usize::try_from(seeds).expect("fits");
+    let runs = par_map_indexed(seeds, |i| run_seed(algo, topology, n, k, i as u64));
+    let ok = || runs.iter().flatten();
+    let rounds: Vec<f64> = ok().map(|r| r.0).collect();
+    let amortized: Vec<f64> = ok().map(|r| r.1).collect();
+    let dissem: Vec<f64> = ok().map(|r| r.2).collect();
     Point {
         algo,
         n,
         k,
         diameter,
         max_degree,
-        successes,
-        seeds: usize::try_from(seeds).expect("fits"),
+        successes: ok().count(),
+        seeds,
         rounds: median(&rounds),
         amortized: median(&amortized),
         dissem_rounds: median(&dissem),
@@ -147,6 +155,40 @@ mod tests {
         let p = measure(Algo::Bii, &Topology::Path { n: 6 }, 4, 2);
         assert_eq!(p.successes, 2);
         assert_eq!(p.dissem_rounds, 0.0);
+    }
+
+    #[test]
+    fn parallel_measure_bit_identical_to_sequential() {
+        let topo = Topology::Gnp { n: 20, p: 0.3 };
+        // `measure` fans seeds across worker threads; rebuild the same
+        // aggregates with a plain sequential loop over the same per-seed
+        // runner and demand bit-identical medians.
+        for algo in [Algo::Coded, Algo::Bii] {
+            let p = measure(algo, &topo, 6, 4);
+            let seq: Vec<_> = (0..4).map(|s| run_seed(algo, &topo, 20, 6, s)).collect();
+            let ok = || seq.iter().flatten();
+            assert_eq!(p.successes, ok().count());
+            let rounds: Vec<f64> = ok().map(|r| r.0).collect();
+            let amortized: Vec<f64> = ok().map(|r| r.1).collect();
+            let dissem: Vec<f64> = ok().map(|r| r.2).collect();
+            assert_eq!(p.rounds.to_bits(), median(&rounds).to_bits());
+            assert_eq!(p.amortized.to_bits(), median(&amortized).to_bits());
+            assert_eq!(p.dissem_rounds.to_bits(), median(&dissem).to_bits());
+        }
+    }
+
+    #[test]
+    fn run_seed_independent_of_thread_count() {
+        use crate::parallel::par_map_indexed_with;
+        let topo = Topology::Path { n: 8 };
+        let one = par_map_indexed_with(1, 3, |i| run_seed(Algo::Coded, &topo, 8, 4, i as u64));
+        let many = par_map_indexed_with(3, 3, |i| run_seed(Algo::Coded, &topo, 8, 4, i as u64));
+        let bits = |v: &[Option<(f64, f64, f64)>]| -> Vec<Option<(u64, u64, u64)>> {
+            v.iter()
+                .map(|o| o.map(|(a, b, c)| (a.to_bits(), b.to_bits(), c.to_bits())))
+                .collect()
+        };
+        assert_eq!(bits(&one), bits(&many));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::collections::HashSet;
 use protocols::decay::Decay;
 use protocols::timing::{epoch_len, log_n};
 use radio_net::engine::{Engine, Node};
-use radio_net::graph::NodeId;
+use radio_net::graph::{Graph, NodeId};
 use radio_net::message::MessageSize;
 use radio_net::rng;
 use radio_net::stats::SimStats;
@@ -186,8 +186,27 @@ pub fn run_bii(
     seed: u64,
 ) -> Result<BiiReport, radio_net::error::Error> {
     let graph = topology.build(seed)?;
+    run_bii_on_graph(graph, workload, config, seed)
+}
+
+/// [`run_bii`] on a prebuilt [`Graph`], skipping topology generation
+/// (mirrors [`crate::runner::run_on_graph`]).
+///
+/// # Errors
+///
+/// Propagates engine construction failures.
+///
+/// # Panics
+///
+/// Panics if the workload's node count differs from the graph's.
+pub fn run_bii_on_graph(
+    graph: Graph,
+    workload: &Workload,
+    config: Option<BiiConfig>,
+    seed: u64,
+) -> Result<BiiReport, radio_net::error::Error> {
     let n = graph.len();
-    assert_eq!(workload.len(), n, "workload/topology node count mismatch");
+    assert_eq!(workload.len(), n, "workload/graph node count mismatch");
     let k = workload.k();
     let cfg = config.unwrap_or_else(|| BiiConfig::for_network(n, graph.max_degree()));
     if k == 0 {
@@ -200,12 +219,17 @@ pub fn run_bii(
         });
     }
     let d = graph.diameter().unwrap_or(0);
-    let nodes: Vec<BiiNode> = (0..n)
-        .map(|i| BiiNode::new(cfg, workload.packets_of(i), rng::stream(seed, i as u64)))
+    let per_node: Vec<_> = (0..n).map(|i| workload.packets_of(i)).collect();
+    let awake: Vec<NodeId> = per_node
+        .iter()
+        .enumerate()
+        .filter(|(_, pkts)| !pkts.is_empty())
+        .map(|(i, _)| NodeId::new(i))
         .collect();
-    let awake: Vec<NodeId> = (0..n)
-        .filter(|&i| !workload.packets_of(i).is_empty())
-        .map(NodeId::new)
+    let nodes: Vec<BiiNode> = per_node
+        .into_iter()
+        .enumerate()
+        .map(|(i, pkts)| BiiNode::new(cfg, pkts, rng::stream(seed, i as u64)))
         .collect();
     let mut engine = Engine::new(graph, nodes, awake)?;
     // Cap: 8x the expected (k + D) · epochs_per_packet · |epoch| budget.

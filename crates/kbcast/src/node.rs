@@ -84,6 +84,11 @@ pub struct KbcastNode {
     cfg: Config,
     my_id: u64,
     rng: SmallRng,
+    /// Cached stage boundaries (`stage1_rounds`, `stage3_start`): the
+    /// poll dispatch consults them every round, and deriving them from
+    /// `cfg` each time is measurable at simulator scale.
+    s1_end: u64,
+    s2_end: u64,
 
     initial_packets: Option<Vec<Packet>>,
     candidate: bool,
@@ -113,6 +118,8 @@ impl KbcastNode {
             cfg,
             my_id,
             rng,
+            s1_end: cfg.stage1_rounds(),
+            s2_end: cfg.stage1_rounds() + cfg.stage2_rounds(),
             initial_packets: Some(packets),
             candidate,
             leader: LeaderElection::new(leader_cfg, my_id, candidate),
@@ -126,11 +133,11 @@ impl KbcastNode {
     }
 
     fn s1_end(&self) -> u64 {
-        self.cfg.stage1_rounds()
+        self.s1_end
     }
 
     fn s2_end(&self) -> u64 {
-        self.cfg.stage1_rounds() + self.cfg.stage2_rounds()
+        self.s2_end
     }
 
     /// This node's id.
@@ -340,7 +347,9 @@ impl KbcastNode {
                 .poll(local, &mut self.rng)
                 .map(Msg::Bfs);
         }
-        self.ensure_collect(round);
+        if self.collect.is_none() {
+            self.ensure_collect(round);
+        }
         if self.s4_start.is_none() {
             let local = round - self.s2_end();
             let out = self

@@ -2,7 +2,7 @@
 //! protocol, verify delivery and report round counts.
 
 use radio_net::engine::Engine;
-use radio_net::graph::NodeId;
+use radio_net::graph::{Graph, NodeId};
 use radio_net::rng;
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
@@ -233,11 +233,33 @@ pub fn run_with_options(
     options: RunOptions,
 ) -> Result<RunReport, radio_net::error::Error> {
     let graph = topology.build(seed)?;
+    run_on_graph(graph, workload, config, seed, options)
+}
+
+/// [`run_with_options`] on a prebuilt [`Graph`], skipping topology
+/// generation. Sweep drivers that probe the graph (diameter, degree)
+/// to derive a [`Config`] can hand the same graph here instead of
+/// building the topology a second time.
+///
+/// # Errors
+///
+/// Propagates invalid options.
+///
+/// # Panics
+///
+/// Panics if the workload's node count differs from the graph's.
+pub fn run_on_graph(
+    graph: Graph,
+    workload: &Workload,
+    config: Option<Config>,
+    seed: u64,
+    options: RunOptions,
+) -> Result<RunReport, radio_net::error::Error> {
     let n = graph.len();
     assert_eq!(
         workload.len(),
         n,
-        "workload shaped for {} nodes, topology has {n}",
+        "workload shaped for {} nodes, graph has {n}",
         workload.len()
     );
     let diameter = graph.diameter().unwrap_or(0);
@@ -245,7 +267,8 @@ pub fn run_with_options(
     let cfg = config.unwrap_or_else(|| Config::for_network(n, diameter, max_degree));
     let k = workload.k();
 
-    let mut expected: Vec<Packet> = (0..n).flat_map(|i| workload.packets_of(i)).collect();
+    let per_node: Vec<Vec<Packet>> = (0..n).map(|i| workload.packets_of(i)).collect();
+    let mut expected: Vec<Packet> = per_node.iter().flatten().cloned().collect();
     expected.sort_by_key(|p| p.key);
 
     if k == 0 {
@@ -265,19 +288,16 @@ pub fn run_with_options(
         });
     }
 
-    let nodes: Vec<KbcastNode> = (0..n)
-        .map(|i| {
-            KbcastNode::new(
-                cfg,
-                i as u64,
-                workload.packets_of(i),
-                rng::stream(seed, i as u64),
-            )
-        })
+    let awake: Vec<NodeId> = per_node
+        .iter()
+        .enumerate()
+        .filter(|(_, pkts)| !pkts.is_empty())
+        .map(|(i, _)| NodeId::new(i))
         .collect();
-    let awake: Vec<NodeId> = (0..n)
-        .filter(|&i| !workload.packets_of(i).is_empty())
-        .map(NodeId::new)
+    let nodes: Vec<KbcastNode> = per_node
+        .into_iter()
+        .enumerate()
+        .map(|(i, pkts)| KbcastNode::new(cfg, i as u64, pkts, rng::stream(seed, i as u64)))
         .collect();
     let mut engine = Engine::new(graph, nodes, awake)?;
     if options.loss_rate > 0.0 {

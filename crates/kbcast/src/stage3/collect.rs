@@ -54,6 +54,11 @@ pub struct CollectState {
     // Phase bookkeeping.
     phase: u32,
     phase_start: u64,
+    /// Total rounds of the current phase (grabbing epoch + alarm window),
+    /// cached by `rebuild_phase`: `advance` runs on every poll/delivery,
+    /// and recomputing the length means rebuilding the whole `GRAB`
+    /// schedule (a heap allocation) each round.
+    phase_len: u64,
     procs: Vec<ProcDesc>,
     grab_len: u64,
     cur_proc: usize,
@@ -105,6 +110,7 @@ impl CollectState {
             own: Vec::new(),
             phase,
             phase_start,
+            phase_len: 0,
             procs: Vec::new(),
             grab_len: 0,
             cur_proc: 0,
@@ -170,6 +176,7 @@ impl CollectState {
         let x = schedule::estimate_for_phase(self.phase, &self.cfg);
         self.procs = schedule::grab_schedule(x, &self.cfg);
         self.grab_len = self.procs.last().map_or(0, ProcDesc::end);
+        self.phase_len = self.grab_len + self.cfg.epidemic_window_rounds();
         self.cur_proc = 0;
         self.armed_proc = None;
         self.launches.clear();
@@ -184,8 +191,7 @@ impl CollectState {
     /// finalizing completed phases (an alarm-free phase ends the stage).
     fn advance(&mut self, local: u64) {
         while self.finished.is_none() {
-            let len =
-                schedule::phase_rounds(schedule::estimate_for_phase(self.phase, &self.cfg), &self.cfg);
+            let len = self.phase_len;
             if local < self.phase_start + len {
                 return;
             }
@@ -239,6 +245,19 @@ impl CollectState {
     }
 
     fn poll_grab(&mut self, pl: u64, rng: &mut impl Rng) -> Option<Msg> {
+        // Fast path: a non-root node with no packets of its own and no
+        // pending relay can never transmit in the grabbing epoch, and
+        // skipping the bookkeeping is observationally identical — its
+        // `arm_proc` would draw no launch slots (no RNG use) and only
+        // clear already-empty collections. The procedure cursor catches
+        // up lazily the next time the full path runs.
+        if !self.is_root
+            && self.own.is_empty()
+            && self.relay_data.is_none()
+            && self.relay_ack.is_none()
+        {
+            return None;
+        }
         while self.cur_proc + 1 < self.procs.len() && self.procs[self.cur_proc].end() <= pl {
             self.cur_proc += 1;
         }

@@ -1,7 +1,5 @@
 //! The per-node dissemination state machine (`FORWARD` + decoding).
 
-use std::collections::HashMap;
-
 use gf2::bitvec::BitVec;
 use gf2::decoder::Decoder;
 use protocols::decay::Decay;
@@ -44,7 +42,14 @@ pub struct DissemState {
     k: Option<u32>,
     g: Option<u32>,
 
-    rx: HashMap<u32, GroupRx>,
+    /// Per-group receive state, indexed by group id; sized to `g` on the
+    /// first header so the simulator's per-poll lookups are plain index
+    /// reads rather than hash probes.
+    rx: Vec<Option<GroupRx>>,
+    /// Number of groups fully decoded (`ready.is_some()`), maintained by
+    /// [`DissemState::deliver`] so [`DissemState::is_complete`] is O(1) —
+    /// the engine consults it after every poll and reception.
+    decoded: u32,
     decay: Decay,
     /// Batch tag — 0 for the static problem; see [`crate::dynamic`].
     batch: u32,
@@ -87,7 +92,8 @@ impl DissemState {
             g: Some(u32::try_from(groups.len()).expect("group count fits u32")),
             k: Some(u32::try_from(k).expect("k fits u32")),
             groups,
-            rx: HashMap::new(),
+            rx: Vec::new(),
+            decoded: 0,
             decay: Decay::new(cfg.delta_bound),
             batch,
         }
@@ -113,7 +119,8 @@ impl DissemState {
             groups: Vec::new(),
             k: None,
             g: None,
-            rx: HashMap::new(),
+            rx: Vec::new(),
+            decoded: 0,
             decay: Decay::new(cfg.delta_bound),
             batch,
         }
@@ -158,10 +165,9 @@ impl DissemState {
         if self.is_root {
             return true;
         }
-        match self.g {
-            Some(g) => (0..g).all(|j| self.rx.get(&j).is_some_and(|rx| rx.ready.is_some())),
-            None => false,
-        }
+        // `decoded` counts groups whose `ready` is set; equal to `g` iff
+        // every group in `0..g` is decoded.
+        self.g.is_some_and(|g| self.decoded == g)
     }
 
     /// All packets this node holds, in the root's canonical order
@@ -171,15 +177,10 @@ impl DissemState {
         if self.is_root {
             return self.root_packets.clone();
         }
-        let Some(g) = self.g else {
-            return Vec::new();
-        };
         let mut out = Vec::new();
-        for j in 0..g {
-            if let Some(rx) = self.rx.get(&j) {
-                if let Some(ready) = &rx.ready {
-                    out.extend(ready.iter().filter_map(|b| Packet::from_bytes(b)));
-                }
+        for rx in self.rx.iter().flatten() {
+            if let Some(ready) = &rx.ready {
+                out.extend(ready.iter().filter_map(|b| Packet::from_bytes(b)));
             }
         }
         out
@@ -232,7 +233,7 @@ impl DissemState {
             return None;
         }
         let jj = u32::try_from(j).expect("fits");
-        let rx = self.rx.get(&jj)?;
+        let rx = self.rx.get(jj as usize)?.as_ref()?;
         let members = rx.ready.as_ref()?;
         if !self.decay.should_transmit(within, rng) {
             return None;
@@ -279,13 +280,19 @@ impl DissemState {
         if self.is_root || msg.batch != self.batch {
             return;
         }
-        self.g.get_or_insert(msg.num_groups);
+        let g = *self.g.get_or_insert(msg.num_groups);
         self.k.get_or_insert(msg.k);
+        if self.rx.is_empty() {
+            self.rx.resize_with(g as usize, || None);
+        }
+        let Some(slot) = self.rx.get_mut(msg.group as usize) else {
+            return; // group id inconsistent with the learned `g`
+        };
         let meta = GroupMeta {
             size: msg.group_size as usize,
             payload_len: msg.payload_len as usize,
         };
-        let rx = self.rx.entry(msg.group).or_insert_with(|| GroupRx {
+        let rx = slot.get_or_insert_with(|| GroupRx {
             meta,
             decoder: Decoder::new(meta.size, meta.payload_len),
             ready: None,
@@ -296,6 +303,9 @@ impl DissemState {
         rx.decoder.insert(msg.coeffs.clone(), msg.payload.clone());
         if rx.decoder.is_complete() {
             rx.ready = rx.decoder.decode();
+            if rx.ready.is_some() {
+                self.decoded += 1;
+            }
         }
     }
 }

@@ -1,0 +1,184 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this repository has no crates.io access, so
+//! the real crate cannot be fetched. This shim implements the API subset
+//! the workspace's property tests use — the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`, [`arbitrary::any`],
+//! tuple and range strategies, [`collection::vec`] and
+//! [`test_runner::ProptestConfig`] — with compatible signatures, so the
+//! tests are written against the upstream API and would compile unchanged
+//! against the real crate.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case is reported with its generated
+//!   values (all strategies here produce `Debug` values) but not
+//!   minimized.
+//! * **Deterministic generation.** Cases are derived from a fixed seed
+//!   mixed with the test function's name, so failures reproduce exactly
+//!   across runs; there is no persistence file (any
+//!   `proptest-regressions/` files in the tree are inert).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude` of the real crate: everything a property test
+/// module needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property-test functions: each argument is drawn from its
+/// strategy for `ProptestConfig::cases` iterations, and the body runs
+/// once per case. Failures (via the `prop_assert*` macros or panics in
+/// the body) report the generated values.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let values = ( $($crate::strategy::Strategy::generate(&$strat, &mut rng),)+ );
+                    let described = format!("{values:?}");
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        let ( $($pat,)+ ) = values;
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "proptest case {case}/{cases} failed: {message}\n  inputs: {described}",
+                            cases = config.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property-test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {} == {}\n  left: {l:?}\n  right: {r:?}",
+                        stringify!($left), stringify!($right)),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {} == {}: {}\n  left: {l:?}\n  right: {r:?}",
+                        stringify!($left), stringify!($right), format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// Fails the current property-test case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {} != {}\n  both: {l:?}",
+                        stringify!($left), stringify!($right)),
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn tuples_and_vec(pair in (0usize..4, 0usize..4),
+                          v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn flat_map_dependent_values(
+            (n, i) in (1usize..10).prop_flat_map(|n| (Just(n), 0..n))
+        ) {
+            prop_assert!(i < n);
+        }
+
+        #[test]
+        fn map_transforms(s in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert!(s % 2 == 0);
+            prop_assert!(s < 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failures_are_reported() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[test]
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

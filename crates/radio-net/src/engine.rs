@@ -36,6 +36,12 @@ pub trait Node {
     /// Reports protocol-local completion; used by harness stop conditions
     /// such as [`Engine::run_until_all_done`]. Defaults to `false`
     /// (protocols that never terminate locally).
+    ///
+    /// The engine caches this per node and, once a node reports done,
+    /// does not re-query it after ordinary polls/receptions — completion
+    /// must be stable under [`Node::poll`] and [`Node::receive`].
+    /// Harness-side mutation through [`Engine::node_mut`] *may* revoke
+    /// completion; the engine re-checks such nodes.
     fn is_done(&self) -> bool {
         false
     }
@@ -49,13 +55,32 @@ pub struct Engine<N: Node> {
     graph: Graph,
     nodes: Vec<N>,
     awake: Vec<bool>,
+    /// Ids of awake nodes; phase 1 polls exactly this list, so sleeping
+    /// nodes cost nothing per round. Grows monotonically (wake-ups append;
+    /// nodes never go back to sleep).
+    awake_ids: Vec<u32>,
     round: u64,
     stats: SimStats,
     // Reused per-round scratch space.
     tx: Vec<Option<N::Msg>>,
+    /// This round's transmitters; also tells the next round which `tx`
+    /// slots to clear, so idle slots are never rewritten.
+    tx_ids: Vec<u32>,
+    /// Listeners adjacent to at least one transmitter this round; phase 3
+    /// iterates this (sorted) instead of scanning all nodes.
+    touched: Vec<u32>,
     stamp: Vec<u64>,
     heard: Vec<u32>,
     last_tx: Vec<u32>,
+    /// Cached `is_done` per node plus a count, maintained incrementally
+    /// after every poll/receive so [`Engine::run_until_all_done`] never
+    /// rescans the whole network.
+    done: Vec<bool>,
+    done_count: usize,
+    /// Nodes handed out via [`Engine::node_mut`] since the last round —
+    /// the harness may have changed their `is_done`, so their cached flag
+    /// is refreshed before it is next consulted.
+    dirty: Vec<u32>,
     /// Injected channel noise: each successful reception is independently
     /// dropped with this probability (fault-injection experiments; the
     /// paper's model is the clean `None`).
@@ -93,18 +118,58 @@ impl<N: Node> Engine<N> {
             }
             awake[id.index()] = true;
         }
+        let awake_ids = (0..n)
+            .filter(|&i| awake[i])
+            .map(|i| u32::try_from(i).expect("node count fits u32"))
+            .collect();
+        let done: Vec<bool> = nodes.iter().map(Node::is_done).collect();
+        let done_count = done.iter().filter(|&&d| d).count();
         Ok(Engine {
             graph,
             nodes,
             awake,
+            awake_ids,
             round: 0,
             stats: SimStats::new(),
             tx: (0..n).map(|_| None).collect(),
+            tx_ids: Vec::new(),
+            touched: Vec::new(),
             stamp: vec![u64::MAX; n],
             heard: vec![0; n],
             last_tx: vec![0; n],
+            done,
+            done_count,
+            dirty: Vec::new(),
             loss: None,
         })
+    }
+
+    /// Re-evaluates the cached done flag of node `i`.
+    fn refresh_done(&mut self, i: usize) {
+        let now = self.nodes[i].is_done();
+        if now != self.done[i] {
+            self.done[i] = now;
+            if now {
+                self.done_count += 1;
+            } else {
+                self.done_count -= 1;
+            }
+        }
+    }
+
+    /// Refreshes the done flags of nodes mutated via [`Engine::node_mut`].
+    fn flush_dirty(&mut self) {
+        while let Some(i) = self.dirty.pop() {
+            self.refresh_done(i as usize);
+        }
+    }
+
+    /// `true` if every node currently reports [`Node::is_done`]. Tracked
+    /// incrementally, so this is O(1) plus the cost of refreshing nodes
+    /// recently exposed through [`Engine::node_mut`].
+    pub fn all_done(&mut self) -> bool {
+        self.flush_dirty();
+        self.done_count == self.nodes.len()
     }
 
     /// Injects channel noise: from now on every successful reception is
@@ -130,51 +195,75 @@ impl<N: Node> Engine<N> {
     }
 
     /// Executes one synchronous round and returns its outcome.
+    ///
+    /// Each phase touches only the nodes that matter: phase 1 polls the
+    /// awake-id list (sleepers cost nothing), phase 2 walks transmitter
+    /// neighborhoods, and phase 3 visits only listeners recorded as
+    /// touched in phase 2 — per-round cost is O(awake + Σ deg(tx))
+    /// rather than O(n · Δ).
     pub fn step(&mut self) -> RoundOutcome {
+        self.flush_dirty();
         let round = self.round;
-        let n = self.nodes.len();
         let mut outcome = RoundOutcome {
             round,
             ..RoundOutcome::default()
         };
 
-        // Phase 1: collect transmissions from awake nodes.
-        for i in 0..n {
-            self.tx[i] = if self.awake[i] {
-                self.nodes[i].poll(round)
-            } else {
-                None
-            };
-            if let Some(msg) = &self.tx[i] {
+        // Clear the previous round's transmissions (only slots that were
+        // actually written; idle slots are already `None`).
+        for idx in 0..self.tx_ids.len() {
+            self.tx[self.tx_ids[idx] as usize] = None;
+        }
+        self.tx_ids.clear();
+
+        // Phase 1: collect transmissions from awake nodes. `awake_ids`
+        // only grows in phase 3, so plain index iteration is safe here.
+        for idx in 0..self.awake_ids.len() {
+            let i = self.awake_ids[idx] as usize;
+            if let Some(msg) = self.nodes[i].poll(round) {
                 outcome.transmissions += 1;
                 self.stats.transmissions += 1;
                 self.stats.bits_transmitted += msg.size_bits() as u64;
+                self.tx[i] = Some(msg);
+                self.tx_ids.push(self.awake_ids[idx]);
+            }
+            // Polling can complete a node (e.g. a source that finishes
+            // local work without ever receiving). Already-done nodes are
+            // not re-checked: completion is stable under poll/receive
+            // (see [`Node::is_done`]); harness mutation that could undo
+            // it goes through `node_mut`, which marks the node dirty.
+            if !self.done[i] {
+                self.refresh_done(i);
             }
         }
 
         // Phase 2: per listener, count transmitting neighbors. The stamp
-        // trick confines work to the neighborhoods of transmitters.
+        // trick confines work to the neighborhoods of transmitters and
+        // records each touched listener exactly once.
         let stamp_val = round;
-        for t in 0..n {
-            if self.tx[t].is_none() {
-                continue;
-            }
-            for &v in self.graph.neighbors(NodeId::new(t)) {
+        for idx in 0..self.tx_ids.len() {
+            let t = self.tx_ids[idx];
+            for &v in self.graph.neighbors(NodeId::new(t as usize)) {
                 let vi = v.index();
                 if self.stamp[vi] != stamp_val {
                     self.stamp[vi] = stamp_val;
                     self.heard[vi] = 0;
+                    self.touched.push(v.index() as u32);
                 }
                 self.heard[vi] += 1;
-                self.last_tx[vi] = u32::try_from(t).expect("node count fits u32");
+                self.last_tx[vi] = t;
             }
         }
 
-        // Phase 3: deliver to listeners with exactly one transmitting
-        // neighbor; transmitters hear nothing (half-duplex); sleeping
-        // nodes wake on their first reception.
-        for v in 0..n {
-            if self.stamp[v] != stamp_val || self.tx[v].is_some() {
+        // Phase 3: deliver to touched listeners with exactly one
+        // transmitting neighbor; transmitters hear nothing (half-duplex);
+        // sleeping nodes wake on their first reception. Sorting keeps
+        // visiting order (and hence loss-RNG draws and wake order)
+        // identical to a full ascending scan.
+        self.touched.sort_unstable();
+        for idx in 0..self.touched.len() {
+            let v = self.touched[idx] as usize;
+            if self.tx[v].is_some() {
                 continue;
             }
             if self.heard[v] == 1 {
@@ -189,16 +278,21 @@ impl<N: Node> Engine<N> {
                 let msg = self.tx[t].as_ref().expect("recorded transmitter sent");
                 if !self.awake[v] {
                     self.awake[v] = true;
+                    self.awake_ids.push(self.touched[idx]);
                     self.stats.wakeups += 1;
                 }
                 self.nodes[v].receive(round, msg);
                 outcome.receptions += 1;
                 self.stats.receptions += 1;
+                if !self.done[v] {
+                    self.refresh_done(v);
+                }
             } else {
                 outcome.collisions += 1;
                 self.stats.collisions += 1;
             }
         }
+        self.touched.clear();
 
         self.round += 1;
         self.stats.rounds += 1;
@@ -229,8 +323,20 @@ impl<N: Node> Engine<N> {
 
     /// Runs until every node reports [`Node::is_done`], for at most
     /// `max_rounds` rounds. Returns `true` on success.
+    ///
+    /// Uses the incrementally maintained done counter (see
+    /// [`Engine::all_done`]) instead of scanning every node each round.
     pub fn run_until_all_done(&mut self, max_rounds: u64) -> bool {
-        self.run_until(max_rounds, |e| e.nodes.iter().all(Node::is_done))
+        if self.all_done() {
+            return true;
+        }
+        for _ in 0..max_rounds {
+            self.step();
+            if self.all_done() {
+                return true;
+            }
+        }
+        false
     }
 
     /// The round about to be executed (0 before the first [`Engine::step`]).
@@ -288,6 +394,8 @@ impl<N: Node> Engine<N> {
     pub fn wake(&mut self, id: NodeId) {
         if !self.awake[id.index()] {
             self.awake[id.index()] = true;
+            self.awake_ids
+                .push(u32::try_from(id.index()).expect("node count fits u32"));
             self.stats.wakeups += 1;
         }
     }
@@ -296,10 +404,16 @@ impl<N: Node> Engine<N> {
     /// injection (external arrivals, fault injection). Protocol code
     /// never sees this — it is a tool of the omniscient harness.
     ///
+    /// The harness may change the node's [`Node::is_done`] through this
+    /// reference, so the node is marked for a done-flag refresh before
+    /// the cached counter is next consulted.
+    ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        self.dirty
+            .push(u32::try_from(id.index()).expect("node count fits u32"));
         &mut self.nodes[id.index()]
     }
 

@@ -51,11 +51,15 @@ impl From<NodeId> for usize {
     }
 }
 
-/// An immutable, simple, undirected graph in adjacency-list form.
+/// An immutable, simple, undirected graph in compressed-sparse-row (CSR)
+/// form: all adjacency lists live in one flat `targets` array, with
+/// `offsets[v]..offsets[v + 1]` delimiting the neighbors of `v`.
 ///
 /// Radio-network protocols never mutate the topology, so `Graph` is built
 /// once (via [`Graph::from_edges`] or the [`crate::topology`] generators)
-/// and then only queried.
+/// and then only queried. The flat layout keeps [`Graph::neighbors`] —
+/// the simulator's hottest query — a single bounds computation plus a
+/// contiguous slice, with no per-node heap indirection.
 ///
 /// ```
 /// use radio_net::graph::{Graph, NodeId};
@@ -70,7 +74,11 @@ impl From<NodeId> for usize {
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<NodeId>>,
+    /// CSR row offsets, length `n + 1`; neighbors of `v` occupy
+    /// `targets[offsets[v] as usize..offsets[v + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// Concatenated adjacency lists, each sorted ascending.
+    targets: Vec<NodeId>,
     edges: usize,
 }
 
@@ -92,7 +100,10 @@ impl Graph {
         if n == 0 {
             return Err(Error::EmptyGraph);
         }
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Collect both directions of every edge, then sort + dedup once
+        // globally: after sorting by (source, target) the pairs ARE the
+        // CSR `targets` array, already in ascending order per node.
+        let mut directed: Vec<(u32, u32)> = Vec::new();
         for (u, v) in edges {
             if u >= n {
                 return Err(Error::NodeOutOfRange { node: u, n });
@@ -103,25 +114,33 @@ impl Graph {
             if u == v {
                 return Err(Error::SelfLoop { node: u });
             }
-            adj[u].push(NodeId::new(v));
-            adj[v].push(NodeId::new(u));
+            let (u, v) = (NodeId::new(u).0, NodeId::new(v).0);
+            directed.push((u, v));
+            directed.push((v, u));
         }
-        let mut edges = 0;
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
-            edges += list.len();
+        directed.sort_unstable();
+        directed.dedup();
+        u32::try_from(directed.len()).expect("directed edge count exceeds u32::MAX");
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, _) in &directed {
+            offsets[u as usize + 1] += 1;
         }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<NodeId> = directed.into_iter().map(|(_, v)| NodeId(v)).collect();
+        let edges = targets.len() / 2;
         Ok(Graph {
-            adj,
-            edges: edges / 2,
+            offsets,
+            targets,
+            edges,
         })
     }
 
     /// Number of nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// `true` if the graph has no nodes. Always `false` for constructed
@@ -129,7 +148,7 @@ impl Graph {
     /// completeness alongside [`Graph::len`].
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.len() == 0
     }
 
     /// Number of (undirected) edges.
@@ -145,7 +164,9 @@ impl Graph {
     /// Panics if `v` is not a node of this graph.
     #[must_use]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v.index()]
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
     }
 
     /// Degree of `v`.
@@ -155,19 +176,23 @@ impl Graph {
     /// Panics if `v` is not a node of this graph.
     #[must_use]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
     }
 
     /// Maximum degree Δ over all nodes (0 for a single isolated node).
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` if `u` and `v` are adjacent.
     #[must_use]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj[u.index()].binary_search(&v).is_ok()
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Iterator over all node ids `v0..v(n-1)`.
@@ -299,6 +324,25 @@ mod tests {
         assert!(g.is_connected());
         assert_eq!(g.diameter(), Some(0));
         assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn csr_is_canonical_in_edge_order_and_direction() {
+        // The CSR arrays (and hence `==`) must not depend on the order or
+        // orientation in which edges were supplied.
+        let a = Graph::from_edges(4, [(2, 3), (0, 1), (1, 2)]).unwrap();
+        let b = Graph::from_edges(4, [(1, 0), (1, 2), (3, 2), (0, 1)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.edge_count(), 3);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_neighbor_slices() {
+        let g = Graph::from_edges(4, [(1, 2)]).unwrap();
+        assert!(g.neighbors(NodeId::new(0)).is_empty());
+        assert!(g.neighbors(NodeId::new(3)).is_empty());
+        assert_eq!(g.degree(NodeId::new(0)), 0);
+        assert_eq!(g.max_degree(), 1);
     }
 
     #[test]

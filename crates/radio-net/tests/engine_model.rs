@@ -7,6 +7,7 @@
 use proptest::prelude::*;
 use radio_net::engine::{Engine, Node};
 use radio_net::graph::{Graph, NodeId};
+use radio_net::stats::RoundOutcome;
 
 /// A node that transmits per a fixed script and records receptions.
 struct Scripted {
@@ -25,14 +26,17 @@ impl Node for Scripted {
     }
 }
 
-/// Brute-force reference: replays the same script independently.
+/// Brute-force reference: replays the same script independently with a
+/// dense O(n·Δ) per-round scan — the pre-optimization semantics the
+/// active-set engine must reproduce bit for bit. Returns each node's
+/// reception sequence plus the per-round [`RoundOutcome`]s.
 fn reference(
     n: usize,
     edges: &[(usize, usize)],
     plans: &[Vec<Option<u32>>],
     awake0: &[bool],
     rounds: usize,
-) -> Vec<Vec<(u64, u32)>> {
+) -> (Vec<Vec<(u64, u32)>>, Vec<RoundOutcome>) {
     let mut adj = vec![vec![false; n]; n];
     for &(u, v) in edges {
         adj[u][v] = true;
@@ -40,11 +44,17 @@ fn reference(
     }
     let mut awake = awake0.to_vec();
     let mut received = vec![Vec::new(); n];
+    let mut outcomes = Vec::with_capacity(rounds);
     for r in 0..rounds {
         // Awake nodes transmit per their script.
         let tx: Vec<Option<u32>> = (0..n)
             .map(|i| if awake[i] { plans[i].get(r).copied().flatten() } else { None })
             .collect();
+        let mut outcome = RoundOutcome {
+            round: r as u64,
+            transmissions: tx.iter().flatten().count(),
+            ..RoundOutcome::default()
+        };
         let mut wakes = Vec::new();
         for v in 0..n {
             if tx[v].is_some() {
@@ -54,16 +64,20 @@ fn reference(
                 (0..n).filter(|&u| adj[u][v] && tx[u].is_some()).collect();
             if transmitters.len() == 1 {
                 received[v].push((r as u64, tx[transmitters[0]].unwrap()));
+                outcome.receptions += 1;
                 if !awake[v] {
                     wakes.push(v);
                 }
+            } else if transmitters.len() > 1 {
+                outcome.collisions += 1;
             }
         }
         for v in wakes {
             awake[v] = true;
         }
+        outcomes.push(outcome);
     }
-    received
+    (received, outcomes)
 }
 
 /// Strategy: a connected-ish random graph as an edge list over n nodes.
@@ -118,9 +132,10 @@ proptest! {
             .collect();
         let awake_ids: Vec<NodeId> = (0..n).filter(|&i| awake0[i]).map(NodeId::new).collect();
         let mut engine = Engine::new(graph, nodes, awake_ids).expect("engine builds");
-        engine.run(rounds as u64);
+        let outcomes: Vec<RoundOutcome> = (0..rounds).map(|_| engine.step()).collect();
 
-        let expect = reference(n, &edges, &plans, &awake0, rounds);
+        let (expect, expect_outcomes) = reference(n, &edges, &plans, &awake0, rounds);
+        prop_assert_eq!(&outcomes, &expect_outcomes, "per-round outcomes diverge");
         for (i, want) in expect.iter().enumerate() {
             prop_assert_eq!(
                 &engine.node(NodeId::new(i)).received,
@@ -129,5 +144,21 @@ proptest! {
                 i
             );
         }
+
+        // Aggregate stats must equal the sum of the per-round outcomes.
+        let stats = engine.stats();
+        prop_assert_eq!(stats.rounds, rounds as u64);
+        prop_assert_eq!(
+            stats.transmissions,
+            expect_outcomes.iter().map(|o| o.transmissions as u64).sum::<u64>()
+        );
+        prop_assert_eq!(
+            stats.receptions,
+            expect_outcomes.iter().map(|o| o.receptions as u64).sum::<u64>()
+        );
+        prop_assert_eq!(
+            stats.collisions,
+            expect_outcomes.iter().map(|o| o.collisions as u64).sum::<u64>()
+        );
     }
 }

@@ -1,0 +1,114 @@
+//! Sampling distributions (the subset the workspace uses: [`Standard`]).
+
+use crate::RngCore;
+
+/// Maps uniform bits from an [`RngCore`] to values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Converts `rng` into an infinite iterator of samples.
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        R: RngCore,
+        Self: Sized,
+    {
+        DistIter {
+            distr: self,
+            rng,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// The "natural" uniform distribution of a type: full range for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Infinite iterator of samples, returned by
+/// [`Distribution::sample_iter`] / `Rng::sample_iter`.
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn float_samples_are_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = Standard.sample(&mut r);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sample_iter_is_infinite_and_deterministic() {
+        let a: Vec<u32> = Standard
+            .sample_iter(SmallRng::seed_from_u64(5))
+            .take(8)
+            .collect();
+        let b: Vec<u32> = Standard
+            .sample_iter(SmallRng::seed_from_u64(5))
+            .take(8)
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+    }
+}

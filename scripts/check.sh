@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full local gate: release build, tests, clippy with warnings denied.
+#
+# Dependency policy: this repo must build offline. The only external
+# crates are the in-repo shims under crates/rand, crates/proptest and
+# crates/criterion (path dependencies in the workspace Cargo.toml).
+# Do NOT add crates.io dependencies — CI and the reproduction
+# environment have no registry access.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "check.sh: all gates passed"
