@@ -30,9 +30,7 @@ fn bench_leader_election(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let nodes: Vec<ElectionNode> = (0..48)
-                    .map(|i| {
-                        ElectionNode::new(cfg, i as u64, i % 5 == 0, rng::stream(1, i as u64))
-                    })
+                    .map(|i| ElectionNode::new(cfg, i as u64, i % 5 == 0, rng::stream(1, i as u64)))
                     .collect();
                 let awake: Vec<NodeId> = (0..48).filter(|i| i % 5 == 0).map(NodeId::new).collect();
                 Engine::new(graph.clone(), nodes, awake).unwrap()
@@ -82,8 +80,9 @@ fn bench_state_machines(c: &mut Criterion) {
     c.bench_function("stage3_collect_poll_10k", |b| {
         b.iter_batched(
             || {
-                let packets: Vec<Packet> =
-                    (0..64).map(|i| Packet::new(1, i, vec![i as u8; 16])).collect();
+                let packets: Vec<Packet> = (0..64)
+                    .map(|i| Packet::new(1, i, vec![i as u8; 16]))
+                    .collect();
                 (
                     CollectState::new(cfg, 1, false, Some(0), packets, 0),
                     rng::stream(0, 1),
@@ -101,8 +100,9 @@ fn bench_state_machines(c: &mut Criterion) {
     c.bench_function("stage4_root_poll_10k", |b| {
         b.iter_batched(
             || {
-                let packets: Vec<Packet> =
-                    (0..256).map(|i| Packet::new(1, i, vec![i as u8; 16])).collect();
+                let packets: Vec<Packet> = (0..256)
+                    .map(|i| Packet::new(1, i, vec![i as u8; 16]))
+                    .collect();
                 (DissemState::new_root(cfg, packets), rng::stream(0, 2))
             },
             |(mut st, mut rng)| {
@@ -119,5 +119,10 @@ fn bench_state_machines(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_leader_election, bench_bfs, bench_state_machines);
+criterion_group!(
+    benches,
+    bench_leader_election,
+    bench_bfs,
+    bench_state_machines
+);
 criterion_main!(benches);

@@ -33,7 +33,10 @@ fn main() {
         let trials = lemma1_trials(p, d, tau);
         let emp = bernoulli_tail_empirical(p, d, trials, samples, &mut r);
         let bound = (-tau).exp();
-        assert!(emp <= bound + 3.0 / (samples as f64).sqrt(), "Lemma 1 violated");
+        assert!(
+            emp <= bound + 3.0 / (samples as f64).sqrt(),
+            "Lemma 1 violated"
+        );
         t.row(&[
             format!("{p}"),
             format!("{d}"),
@@ -54,14 +57,19 @@ fn main() {
         ("16 × p=0.25", vec![0.25; 16]),
         (
             "rank chain w=10 (p_i = 1 - 2^(i-1)/2^10)",
-            (1..=10u32).map(|i| 1.0 - f64::from(1u32 << (i - 1)) / 1024.0).collect(),
+            (1..=10u32)
+                .map(|i| 1.0 - f64::from(1u32 << (i - 1)) / 1024.0)
+                .collect(),
         ),
     ];
     for (name, ps) in cases {
         for eps in [0.1, 0.01] {
             let thr = lemma2_threshold(&ps, eps);
             let emp = geometric_tail_empirical(&ps, thr, samples, &mut r);
-            assert!(emp <= eps + 3.0 / (samples as f64).sqrt(), "Lemma 2 violated");
+            assert!(
+                emp <= eps + 3.0 / (samples as f64).sqrt(),
+                "Lemma 2 violated"
+            );
             t2.row(&[
                 name.to_string(),
                 format!("{eps}"),

@@ -7,8 +7,8 @@
 //! families. This binary measures that success rate — it is the
 //! reliability datum backing every other experiment.
 
-use kbcast::runner::{run, Workload};
-use kbcast_bench::parallel::par_map_indexed;
+use kbcast::runner::CodedProtocol;
+use kbcast_bench::session::{sweep_protocol, SweepSpec};
 use kbcast_bench::table::Table;
 use kbcast_bench::Scale;
 use radio_net::topology::Topology;
@@ -22,11 +22,23 @@ fn main() {
     let configs: Vec<(String, Topology, usize)> = vec![
         ("gnp(64)".into(), Topology::Gnp { n: 64, p: 0.13 }, 128),
         ("gnp(256)".into(), Topology::Gnp { n: 256, p: 0.044 }, 256),
-        ("grid(8x8)".into(), Topology::Grid2d { rows: 8, cols: 8 }, 128),
+        (
+            "grid(8x8)".into(),
+            Topology::Grid2d { rows: 8, cols: 8 },
+            128,
+        ),
         ("rtree(64)".into(), Topology::RandomTree { n: 64 }, 64),
         ("star(64)".into(), Topology::Star { n: 64 }, 128),
-        ("udg(64)".into(), Topology::UnitDisk { n: 64, radius: 0.3 }, 64),
-        ("regular(64,6)".into(), Topology::RandomRegular { n: 64, d: 6 }, 128),
+        (
+            "udg(64)".into(),
+            Topology::UnitDisk { n: 64, radius: 0.3 },
+            64,
+        ),
+        (
+            "regular(64,6)".into(),
+            Topology::RandomRegular { n: 64, d: 6 },
+            128,
+        ),
         ("path(32)".into(), Topology::Path { n: 32 }, 64),
     ];
 
@@ -34,13 +46,8 @@ fn main() {
     let mut total_ok = 0u64;
     let mut total = 0u64;
     for (name, topo, k) in &configs {
-        let n = topo.build(0).expect("topology").len();
-        let wins = par_map_indexed(usize::try_from(seeds).expect("fits"), |i| {
-            let seed = i as u64;
-            let w = Workload::random(n, *k, seed);
-            run(topo, &w, None, seed).expect("run").success
-        });
-        let ok = wins.iter().filter(|&&s| s).count() as u64;
+        let reports = sweep_protocol(&CodedProtocol::default(), &SweepSpec::new(topo, *k, seeds));
+        let ok = reports.iter().filter(|r| r.success).count() as u64;
         total_ok += ok;
         total += seeds;
         #[allow(clippy::cast_precision_loss)]

@@ -8,8 +8,8 @@
 //! heavy loss eventually breaks the one-shot stages (BFS labeling,
 //! dissemination waves), which is where success collapses.
 
-use kbcast::runner::{run_with_options, RunOptions, Workload};
-use kbcast_bench::parallel::par_map_indexed;
+use kbcast::runner::CodedProtocol;
+use kbcast_bench::session::{sweep_protocol, SweepSpec};
 use kbcast_bench::table::{f1, f3, Table};
 use kbcast_bench::Scale;
 use radio_net::topology::Topology;
@@ -27,21 +27,9 @@ fn main() {
     let mut t = Table::new(&["loss", "success", "median rounds", "slowdown", "dropped/rx"]);
     let mut base_rounds = None;
     for &loss in &[0.0f64, 0.02, 0.05, 0.10, 0.20, 0.35] {
-        let reports = par_map_indexed(usize::try_from(seeds).expect("fits"), |i| {
-            let seed = i as u64;
-            let w = Workload::random(n, k, seed);
-            run_with_options(
-                &topo,
-                &w,
-                None,
-                seed,
-                RunOptions {
-                    loss_rate: loss,
-                    max_rounds: None,
-                },
-            )
-            .expect("run")
-        });
+        let mut spec = SweepSpec::new(&topo, k, seeds);
+        spec.options.loss_rate = loss;
+        let reports = sweep_protocol(&CodedProtocol::default(), &spec);
         let mut ok = 0;
         let mut rounds = Vec::new();
         let mut drop_ratio = 0.0;
@@ -53,8 +41,8 @@ fn main() {
             }
             #[allow(clippy::cast_precision_loss)]
             {
-                drop_ratio += r.stats.dropped as f64
-                    / (r.stats.dropped + r.stats.receptions).max(1) as f64;
+                drop_ratio +=
+                    r.stats.dropped as f64 / (r.stats.dropped + r.stats.receptions).max(1) as f64;
             }
         }
         let med = kbcast_bench::stats::median(&rounds);

@@ -13,9 +13,9 @@
 //! * the coded algorithm's per-message-type breakdown (where the
 //!   transmissions go).
 
-use kbcast::baseline::run_bii;
-use kbcast::runner::{run, Workload};
-use kbcast_bench::parallel::par_map_indexed;
+use kbcast::baseline::BiiProtocol;
+use kbcast::runner::CodedProtocol;
+use kbcast_bench::session::{sweep_protocol, SweepSpec};
 use kbcast_bench::sweep::gnp_standard;
 use kbcast_bench::table::{f2, Table};
 use kbcast_bench::Scale;
@@ -42,14 +42,12 @@ fn main() {
         let mut c_bits = 0.0;
         let mut b_bits = 0.0;
         let mut ok = 0u32;
-        let pairs = par_map_indexed(usize::try_from(seeds).expect("fits"), |i| {
-            let seed = i as u64;
-            let w = Workload::random(n, k, seed);
-            let r = run(&topo, &w, None, seed).expect("run");
-            let b = run_bii(&topo, &w, None, seed).expect("run");
-            (r, b)
-        });
-        for (r, b) in &pairs {
+        // Same topology, seeds and (seeded) workloads for both sweeps,
+        // so zipping pairs each coded run with its BII twin.
+        let spec = SweepSpec::new(&topo, k, seeds);
+        let coded = sweep_protocol(&CodedProtocol::default(), &spec);
+        let bii = sweep_protocol(&BiiProtocol::default(), &spec);
+        for (r, b) in coded.iter().zip(&bii) {
             // Payload bits delivered: every node ends with k packets of
             // 4-byte payloads.
             #[allow(clippy::cast_precision_loss)]
@@ -66,7 +64,7 @@ fn main() {
                 b_bits += b.stats.bits_transmitted as f64 / payload_bits;
             }
             if breakdown.is_none() && k >= 512 {
-                breakdown = Some(r.tx_by_type);
+                breakdown = Some(r.meta.tx_by_type);
             }
         }
         let d = f64::from(ok.max(1));
@@ -99,8 +97,6 @@ fn main() {
     }
     println!();
     println!("claim check: both per-packet-per-node transmission counts flatten with k;");
-    println!(
-        "the coded algorithm's is the smaller asymptote, and the channel-bit overhead per"
-    );
+    println!("the coded algorithm's is the smaller asymptote, and the channel-bit overhead per");
     println!("payload bit reflects the ≤ 2x coded-message size bound (header + payload).");
 }

@@ -30,14 +30,7 @@ fn main() {
     );
     println!();
 
-    let mut t = Table::new(&[
-        "k",
-        "coded",
-        "uncoded",
-        "bii",
-        "bii/coded",
-        "ok(c/u/b)",
-    ]);
+    let mut t = Table::new(&["k", "coded", "uncoded", "bii", "bii/coded", "ok(c/u/b)"]);
     let mut last = None;
     for &k in &ks {
         let c = measure(Algo::Coded, &topo, k, seeds);

@@ -29,8 +29,7 @@ fn main() {
     println!();
 
     let mut t = Table::new(&[
-        "n", "k", "D", "Δ", "s1", "s1/bound", "s2", "s2/bound", "s3", "s3/bound", "s4",
-        "s4/bound",
+        "n", "k", "D", "Δ", "s1", "s1/bound", "s2", "s2/bound", "s3", "s3/bound", "s4", "s4/bound",
     ]);
     for &n in &ns {
         for &kf in &k_factors {
@@ -46,12 +45,8 @@ fn main() {
                 continue;
             }
             #[allow(clippy::cast_precision_loss)]
-            let (df, lnf, ldf, kf64) = (
-                d as f64,
-                log_n(n) as f64,
-                epoch_len(delta) as f64,
-                k as f64,
-            );
+            let (df, lnf, ldf, kf64) =
+                (d as f64, log_n(n) as f64, epoch_len(delta) as f64, k as f64);
             let b1 = (df + lnf) * lnf * ldf;
             let b2 = df * lnf * ldf;
             let b3 = kf64 + (df + lnf) * lnf;

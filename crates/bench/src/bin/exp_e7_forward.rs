@@ -28,13 +28,7 @@ fn main() {
     );
     println!();
 
-    let mut t = Table::new(&[
-        "epochs",
-        "t=1",
-        "t=4",
-        "t=16",
-        "mean rx (t=4)",
-    ]);
+    let mut t = Table::new(&["epochs", "t=1", "t=4", "t=16", "mean rx (t=4)"]);
     for epochs in [4usize, 8, 16, 24, 32, 48, 64, 96] {
         let mut cells = Vec::new();
         let mut mean_rx = 0.0;

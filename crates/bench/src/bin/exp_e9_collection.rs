@@ -7,9 +7,9 @@
 //! shows the doubling kicking in exactly when `k` outgrows the
 //! schedule's slot supply.
 
-use kbcast::runner::{run, Workload};
+use kbcast::runner::CodedProtocol;
 use kbcast::Config;
-use kbcast_bench::parallel::par_map_indexed;
+use kbcast_bench::session::{sweep_protocol, SweepSpec};
 use kbcast_bench::stats::{median, slope};
 use kbcast_bench::sweep::gnp_standard;
 use kbcast_bench::table::Table;
@@ -18,11 +18,8 @@ use kbcast_bench::Scale;
 fn main() {
     let scale = Scale::from_env();
     let n = scale.pick(64, 128);
-    let seeds = scale.pick(2, 3);
-    let ks: Vec<usize> = scale.pick(
-        vec![16, 256, 2048],
-        vec![16, 64, 256, 1024, 4096, 8192],
-    );
+    let seeds = scale.pick(2u64, 3);
+    let ks: Vec<usize> = scale.pick(vec![16, 256, 2048], vec![16, 64, 256, 1024, 4096, 8192]);
     let topo = gnp_standard(n);
     let g = topo.build(0).expect("topology");
     let cfg = Config::for_network(n, g.diameter().unwrap(), g.max_degree());
@@ -38,11 +35,7 @@ fn main() {
     let mut kx = Vec::new();
     let mut ry = Vec::new();
     for &k in &ks {
-        let reports = par_map_indexed(seeds, |i| {
-            let seed = i as u64;
-            let w = Workload::random(n, k, seed);
-            run(&topo, &w, None, seed).expect("run")
-        });
+        let reports = sweep_protocol(&CodedProtocol::default(), &SweepSpec::new(&topo, k, seeds));
         let mut rounds = Vec::new();
         let mut phases = Vec::new();
         let mut ok = 0;
@@ -50,8 +43,8 @@ fn main() {
             if r.success {
                 ok += 1;
                 #[allow(clippy::cast_precision_loss)]
-                rounds.push(r.stages.collect as f64);
-                phases.push(f64::from(r.collection_phases));
+                rounds.push(r.meta.stages.collect as f64);
+                phases.push(f64::from(r.meta.collection_phases));
             }
         }
         let med = median(&rounds);

@@ -160,8 +160,11 @@ fn main() {
         "{{\n  \"bench\": \"engine_hot_loop\",\n  \"reps\": {reps},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         json_entries.join(",\n")
     );
-    let path = "results/BENCH_engine.json";
-    match std::fs::write(path, &json) {
+    // KB_BENCH_OUT redirects the report (the perf gate writes to a
+    // scratch path so the committed baseline stays untouched).
+    let path =
+        std::env::var("KB_BENCH_OUT").unwrap_or_else(|_| "results/BENCH_engine.json".to_string());
+    match std::fs::write(&path, &json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\ncould not write {path}: {e} (printing instead)\n{json}"),
     }

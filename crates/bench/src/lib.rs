@@ -8,6 +8,7 @@
 
 pub mod micro;
 pub mod parallel;
+pub mod session;
 pub mod stats;
 pub mod sweep;
 pub mod table;

@@ -246,8 +246,7 @@ pub fn forward_once(
 ) -> ForwardOutcome {
     assert!(transmitters >= 1 && receivers >= 1 && group_size >= 1);
     let n = transmitters + receivers;
-    let edges = (0..transmitters)
-        .flat_map(|t| (0..receivers).map(move |r| (t, transmitters + r)));
+    let edges = (0..transmitters).flat_map(|t| (0..receivers).map(move |r| (t, transmitters + r)));
     let g = Graph::from_edges(n, edges).expect("bipartite layer builds");
     let mut wrng = rng::stream(seed, rng::salts::WORKLOAD);
     let group: Vec<Vec<u8>> = (0..group_size)
@@ -340,7 +339,11 @@ mod tests {
     #[test]
     fn forward_with_too_few_epochs_fails() {
         let out = forward_once(4, 6, 8, 16, 3, 8, 1);
-        assert!(out.decoded_fraction < 0.5, "fraction {}", out.decoded_fraction);
+        assert!(
+            out.decoded_fraction < 0.5,
+            "fraction {}",
+            out.decoded_fraction
+        );
     }
 
     #[test]

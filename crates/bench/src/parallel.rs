@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Parses a `KBCAST_THREADS`-style override. Returns `None` for unset,
 /// empty, unparsable or zero values (fall back to auto-detection).
 fn threads_from(raw: Option<&str>) -> Option<usize> {
-    raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
 /// Number of worker threads: the `KBCAST_THREADS` environment variable

@@ -1,13 +1,14 @@
-//! Shared sweep driver used by experiments E1, E2, E3 and E12: run the
-//! coded algorithm, the uncoded ablation and the BII baseline over a
-//! parameter grid and collect per-run records.
+//! Algorithm-comparison sweeps used by experiments E1, E2, E3 and E12:
+//! run the coded algorithm, the uncoded ablation and the BII baseline
+//! over a parameter grid via [`crate::session::sweep_protocol`] and
+//! aggregate per-algorithm medians.
 
-use kbcast::baseline::{run_bii_on_graph, BiiConfig};
-use kbcast::runner::{run_on_graph, RunOptions, Workload};
-use kbcast::Config;
+use kbcast::baseline::BiiProtocol;
+use kbcast::runner::CodedProtocol;
+use kbcast::session::SessionReport;
 use radio_net::topology::Topology;
 
-use crate::parallel::par_map_indexed;
+use crate::session::{probe, successes, sweep_protocol, SweepSpec};
 use crate::stats::median;
 
 /// Which algorithm a record belongs to.
@@ -58,38 +59,23 @@ pub struct Point {
     pub dissem_rounds: f64,
 }
 
-/// Runs one seed of `algo` and returns `(rounds, amortized, dissem)` on
-/// success, `None` on failure. Builds the seed's topology exactly once
-/// and hands it to the `*_on_graph` entry points.
-fn run_seed(algo: Algo, topology: &Topology, n: usize, k: usize, seed: u64) -> Option<(f64, f64, f64)> {
-    let w = Workload::random(n, k, seed);
-    let g = topology.build(seed).expect("topology builds");
-    match algo {
-        Algo::Coded | Algo::Uncoded => {
-            let mut cfg =
-                Config::for_network(g.len(), g.diameter().expect("connected"), g.max_degree());
-            if algo == Algo::Uncoded {
-                cfg.group_size_override = Some(1);
-            }
-            let r = run_on_graph(g, &w, Some(cfg), seed, RunOptions::default()).expect("run");
-            r.success.then(|| {
-                #[allow(clippy::cast_precision_loss)]
-                (
-                    r.rounds_total as f64,
-                    r.amortized_rounds_per_packet(),
-                    r.stages.disseminate as f64,
-                )
-            })
-        }
-        Algo::Bii => {
-            let cfg = BiiConfig::for_network(g.len(), g.max_degree());
-            let r = run_bii_on_graph(g, &w, Some(cfg), seed).expect("run");
-            r.success.then(|| {
-                #[allow(clippy::cast_precision_loss)]
-                (r.rounds_total as f64, r.amortized_rounds_per_packet(), 0.0)
-            })
-        }
-    }
+/// Medians of `(rounds, amortized, dissem)` over the successful reports,
+/// plus the success count.
+fn summarize<M>(
+    reports: &[SessionReport<M>],
+    dissem: impl Fn(&SessionReport<M>) -> f64,
+) -> (usize, f64, f64, f64) {
+    let ok: Vec<&SessionReport<M>> = successes(reports).collect();
+    #[allow(clippy::cast_precision_loss)]
+    let rounds: Vec<f64> = ok.iter().map(|r| r.rounds_total as f64).collect();
+    let amortized: Vec<f64> = ok.iter().map(|r| r.amortized_rounds_per_packet()).collect();
+    let dissem: Vec<f64> = ok.iter().map(|r| dissem(r)).collect();
+    (
+        ok.len(),
+        median(&rounds),
+        median(&amortized),
+        median(&dissem),
+    )
 }
 
 /// Runs `algo` on `topology` with a random `k`-packet workload for each
@@ -105,27 +91,32 @@ fn run_seed(algo: Algo, topology: &Topology, n: usize, k: usize, seed: u64) -> O
 /// Panics if the topology fails to build.
 #[must_use]
 pub fn measure(algo: Algo, topology: &Topology, k: usize, seeds: u64) -> Point {
-    let probe = topology.build(0).expect("topology builds");
-    let n = probe.len();
-    let diameter = probe.diameter().expect("connected");
-    let max_degree = probe.max_degree();
-    let seeds = usize::try_from(seeds).expect("fits");
-    let runs = par_map_indexed(seeds, |i| run_seed(algo, topology, n, k, i as u64));
-    let ok = || runs.iter().flatten();
-    let rounds: Vec<f64> = ok().map(|r| r.0).collect();
-    let amortized: Vec<f64> = ok().map(|r| r.1).collect();
-    let dissem: Vec<f64> = ok().map(|r| r.2).collect();
+    let net = probe(topology);
+    let spec = SweepSpec::new(topology, k, seeds);
+    let (successes, rounds, amortized, dissem_rounds) = match algo {
+        Algo::Coded | Algo::Uncoded => {
+            let proto = CodedProtocol {
+                config: None,
+                uncoded: algo == Algo::Uncoded,
+            };
+            #[allow(clippy::cast_precision_loss)]
+            summarize(&sweep_protocol(&proto, &spec), |r| {
+                r.meta.stages.disseminate as f64
+            })
+        }
+        Algo::Bii => summarize(&sweep_protocol(&BiiProtocol::default(), &spec), |_| 0.0),
+    };
     Point {
         algo,
-        n,
+        n: net.n,
         k,
-        diameter,
-        max_degree,
-        successes: ok().count(),
-        seeds,
-        rounds: median(&rounds),
-        amortized: median(&amortized),
-        dissem_rounds: median(&dissem),
+        diameter: net.diameter,
+        max_degree: net.max_degree,
+        successes,
+        seeds: usize::try_from(seeds).expect("fits"),
+        rounds,
+        amortized,
+        dissem_rounds,
     }
 }
 
@@ -141,6 +132,8 @@ pub fn gnp_standard(n: usize) -> Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kbcast::baseline::run_bii_on_graph;
+    use kbcast::runner::{run_on_graph, RunOptions, Workload};
 
     #[test]
     fn measure_small_coded() {
@@ -158,14 +151,40 @@ mod tests {
     }
 
     #[test]
-    fn parallel_measure_bit_identical_to_sequential() {
+    fn measure_bit_identical_to_legacy_entry_points() {
+        // `measure` routes through the protocol trait and the parallel
+        // sweep driver; rebuild the same aggregates from the legacy
+        // single-run entry points in a plain sequential loop and demand
+        // bit-identical medians.
         let topo = Topology::Gnp { n: 20, p: 0.3 };
-        // `measure` fans seeds across worker threads; rebuild the same
-        // aggregates with a plain sequential loop over the same per-seed
-        // runner and demand bit-identical medians.
         for algo in [Algo::Coded, Algo::Bii] {
             let p = measure(algo, &topo, 6, 4);
-            let seq: Vec<_> = (0..4).map(|s| run_seed(algo, &topo, 20, 6, s)).collect();
+            let seq: Vec<Option<(f64, f64, f64)>> = (0..4)
+                .map(|seed| {
+                    let w = Workload::random(20, 6, seed);
+                    let g = topo.build(seed).expect("topology builds");
+                    #[allow(clippy::cast_precision_loss)]
+                    match algo {
+                        Algo::Coded | Algo::Uncoded => {
+                            let r = run_on_graph(g, &w, None, seed, RunOptions::default())
+                                .expect("run");
+                            r.success.then(|| {
+                                (
+                                    r.rounds_total as f64,
+                                    r.amortized_rounds_per_packet(),
+                                    r.stages.disseminate as f64,
+                                )
+                            })
+                        }
+                        Algo::Bii => {
+                            let r = run_bii_on_graph(g, &w, None, seed).expect("run");
+                            r.success.then(|| {
+                                (r.rounds_total as f64, r.amortized_rounds_per_packet(), 0.0)
+                            })
+                        }
+                    }
+                })
+                .collect();
             let ok = || seq.iter().flatten();
             assert_eq!(p.successes, ok().count());
             let rounds: Vec<f64> = ok().map(|r| r.0).collect();
@@ -178,17 +197,21 @@ mod tests {
     }
 
     #[test]
-    fn run_seed_independent_of_thread_count() {
+    fn per_seed_sessions_independent_of_thread_count() {
         use crate::parallel::par_map_indexed_with;
+        use kbcast::session::run_protocol_on_graph;
         let topo = Topology::Path { n: 8 };
-        let one = par_map_indexed_with(1, 3, |i| run_seed(Algo::Coded, &topo, 8, 4, i as u64));
-        let many = par_map_indexed_with(3, 3, |i| run_seed(Algo::Coded, &topo, 8, 4, i as u64));
-        let bits = |v: &[Option<(f64, f64, f64)>]| -> Vec<Option<(u64, u64, u64)>> {
-            v.iter()
-                .map(|o| o.map(|(a, b, c)| (a.to_bits(), b.to_bits(), c.to_bits())))
-                .collect()
+        let proto = CodedProtocol::default();
+        let run = |i: usize| {
+            let seed = i as u64;
+            let g = topo.build(seed).expect("topology builds");
+            let w = Workload::random(8, 4, seed);
+            let r = run_protocol_on_graph(&proto, g, &w, seed, RunOptions::default()).expect("run");
+            (r.success, r.rounds_total, r.stats)
         };
-        assert_eq!(bits(&one), bits(&many));
+        let one = par_map_indexed_with(1, 3, run);
+        let many = par_map_indexed_with(3, 3, run);
+        assert_eq!(one, many);
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl BitVec {
         assert!(len <= 64, "from_lsb_bits supports at most 64 bits");
         let mut v = BitVec::zeros(len);
         if len > 0 {
-            let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            let mask = if len == 64 {
+                u64::MAX
+            } else {
+                (1u64 << len) - 1
+            };
             if !v.words.is_empty() {
                 v.words[0] = bits & mask;
             }

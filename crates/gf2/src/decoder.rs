@@ -226,7 +226,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn sample_group(rng: &mut impl Rng, w: usize, len: usize) -> Vec<Vec<u8>> {
-        (0..w).map(|_| (0..len).map(|_| rng.gen()).collect()).collect()
+        (0..w)
+            .map(|_| (0..len).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     fn encode(group: &[Vec<u8>], coeffs: &BitVec, len: usize) -> Vec<u8> {

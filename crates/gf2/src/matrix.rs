@@ -144,11 +144,7 @@ impl BitMatrix {
     /// Panics if the inner dimensions disagree.
     #[must_use]
     pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
-        assert_eq!(
-            self.cols,
-            other.rows.len(),
-            "inner dimensions must agree"
-        );
+        assert_eq!(self.cols, other.rows.len(), "inner dimensions must agree");
         let mut out = BitMatrix::zeros(self.rows.len(), other.cols);
         for (i, row) in self.rows.iter().enumerate() {
             for j in row.iter_ones() {
@@ -250,7 +246,11 @@ pub fn lemma3_row_threshold(w: usize, epsilon: f64) -> usize {
         epsilon > 0.0 && epsilon <= 1.0,
         "epsilon must be in (0, 1], got {epsilon}"
     );
-    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_sign_loss,
+        clippy::cast_possible_truncation
+    )]
     let extra = (8.0 * (1.0 / epsilon).ln()).ceil() as usize;
     2 * (w + 2) + extra
 }

@@ -91,12 +91,7 @@ fn geometric_sum(ps: &[f64], rng: &mut impl Rng) -> f64 {
 
 /// Empirical `Pr[Σ Geometric(p_i) ≥ t]` over `samples` repetitions.
 #[must_use]
-pub fn geometric_tail_empirical(
-    ps: &[f64],
-    t: f64,
-    samples: usize,
-    rng: &mut impl Rng,
-) -> f64 {
+pub fn geometric_tail_empirical(ps: &[f64], t: f64, samples: usize, rng: &mut impl Rng) -> f64 {
     let mut above = 0usize;
     for _ in 0..samples {
         if geometric_sum(ps, rng) >= t {

@@ -17,16 +17,18 @@ use std::collections::HashSet;
 
 use protocols::decay::Decay;
 use protocols::timing::{epoch_len, log_n};
-use radio_net::engine::{Engine, Node};
+use radio_net::engine::Node;
 use radio_net::graph::{Graph, NodeId};
 use radio_net::message::MessageSize;
 use radio_net::rng;
+use radio_net::session::{NoopObserver, SessionEnd};
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
 use rand::rngs::SmallRng;
 
 use crate::packet::{Packet, PacketKey};
-use crate::runner::Workload;
+use crate::runner::{RunOptions, Workload};
+use crate::session::{run_protocol_on_graph, BroadcastProtocol, NetParams};
 
 impl MessageSize for Packet {
     fn size_bits(&self) -> usize {
@@ -74,6 +76,10 @@ pub struct BiiNode {
     /// Index into `known` being transmitted this epoch.
     current: Option<usize>,
     last_epoch: Option<u64>,
+    /// Packet count at which this node reports [`Node::is_done`]
+    /// (`None` = never; BII itself has no termination detection, so the
+    /// target is harness-provided omniscience).
+    target_k: Option<usize>,
 }
 
 impl BiiNode {
@@ -91,7 +97,23 @@ impl BiiNode {
             epochs_done,
             current: None,
             last_epoch: None,
+            target_k: None,
         }
+    }
+
+    /// [`BiiNode::new`] with a completion target: the node reports
+    /// [`Node::is_done`] once it knows `target_k` distinct packets
+    /// (stable — the known set only grows).
+    #[must_use]
+    pub fn with_target(
+        cfg: BiiConfig,
+        packets: Vec<Packet>,
+        rng: SmallRng,
+        target_k: usize,
+    ) -> Self {
+        let mut node = BiiNode::new(cfg, packets, rng);
+        node.target_k = Some(target_k);
+        node
     }
 
     /// Packets this node knows so far.
@@ -119,7 +141,8 @@ impl BiiNode {
         self.last_epoch = Some(epoch);
         // Oldest packet still under its transmission budget (FIFO in
         // first-seen order — the pipelining discipline).
-        self.current = (0..self.known.len()).find(|&i| self.epochs_done[i] < self.cfg.epochs_per_packet);
+        self.current =
+            (0..self.known.len()).find(|&i| self.epochs_done[i] < self.cfg.epochs_per_packet);
     }
 }
 
@@ -140,6 +163,10 @@ impl Node for BiiNode {
             self.known.push(msg.clone());
             self.epochs_done.push(0);
         }
+    }
+
+    fn is_done(&self) -> bool {
+        self.target_k.is_some_and(|t| self.known.len() >= t)
     }
 }
 
@@ -190,7 +217,8 @@ pub fn run_bii(
 }
 
 /// [`run_bii`] on a prebuilt [`Graph`], skipping topology generation
-/// (mirrors [`crate::runner::run_on_graph`]).
+/// (mirrors [`crate::runner::run_on_graph`]). A thin wrapper over the
+/// generic session driver with a [`BiiProtocol`].
 ///
 /// # Errors
 ///
@@ -205,44 +233,82 @@ pub fn run_bii_on_graph(
     config: Option<BiiConfig>,
     seed: u64,
 ) -> Result<BiiReport, radio_net::error::Error> {
-    let n = graph.len();
-    assert_eq!(workload.len(), n, "workload/graph node count mismatch");
-    let k = workload.k();
-    let cfg = config.unwrap_or_else(|| BiiConfig::for_network(n, graph.max_degree()));
-    if k == 0 {
-        return Ok(BiiReport {
-            n,
-            k,
-            success: true,
-            rounds_total: 0,
-            stats: SimStats::new(),
-        });
-    }
-    let d = graph.diameter().unwrap_or(0);
-    let per_node: Vec<_> = (0..n).map(|i| workload.packets_of(i)).collect();
-    let awake: Vec<NodeId> = per_node
-        .iter()
-        .enumerate()
-        .filter(|(_, pkts)| !pkts.is_empty())
-        .map(|(i, _)| NodeId::new(i))
-        .collect();
-    let nodes: Vec<BiiNode> = per_node
-        .into_iter()
-        .enumerate()
-        .map(|(i, pkts)| BiiNode::new(cfg, pkts, rng::stream(seed, i as u64)))
-        .collect();
-    let mut engine = Engine::new(graph, nodes, awake)?;
-    // Cap: 8x the expected (k + D) · epochs_per_packet · |epoch| budget.
-    let epoch = Decay::new(cfg.delta_bound).epoch_len() as u64;
-    let cap = 8 * ((k as u64 + d as u64 + 2) * cfg.epochs_per_packet as u64 * epoch) + 64;
-    let success = engine.run_until(cap, |e| e.nodes().iter().all(|nd| nd.known_count() == k));
+    let protocol = BiiProtocol { config };
+    let r = run_protocol_on_graph(&protocol, graph, workload, seed, RunOptions::default())?;
     Ok(BiiReport {
-        n,
-        k,
-        success,
-        rounds_total: engine.round(),
-        stats: *engine.stats(),
+        n: r.n,
+        k: r.k,
+        success: r.success,
+        rounds_total: r.rounds_total,
+        stats: r.stats,
     })
+}
+
+/// The BII baseline as a [`BroadcastProtocol`].
+///
+/// BII has no termination detection of its own, so nodes are built
+/// with the harness-side completion target `k` and the session stops
+/// once every node knows all packets (identical to the historical
+/// omniscient-predicate loop).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BiiProtocol {
+    /// Explicit configuration, or `None` for [`BiiConfig::for_network`].
+    pub config: Option<BiiConfig>,
+}
+
+impl BiiProtocol {
+    fn resolve(&self, net: &NetParams) -> BiiConfig {
+        self.config
+            .unwrap_or_else(|| BiiConfig::for_network(net.n, net.max_degree))
+    }
+}
+
+impl BroadcastProtocol for BiiProtocol {
+    type Node = BiiNode;
+    type Obs = NoopObserver;
+    type Meta = ();
+
+    fn name(&self) -> &'static str {
+        "bii"
+    }
+
+    fn build(
+        &self,
+        net: &NetParams,
+        workload: &Workload,
+        seed: u64,
+    ) -> (Vec<BiiNode>, Vec<NodeId>) {
+        let cfg = self.resolve(net);
+        let k = workload.k();
+        let awake = (0..net.n)
+            .filter(|&i| !workload.payloads_of(i).is_empty())
+            .map(NodeId::new)
+            .collect();
+        let nodes = (0..net.n)
+            .map(|i| {
+                BiiNode::with_target(cfg, workload.packets_of(i), rng::stream(seed, i as u64), k)
+            })
+            .collect();
+        (nodes, awake)
+    }
+
+    fn observer(&self, _net: &NetParams) -> NoopObserver {
+        NoopObserver
+    }
+
+    fn round_cap(&self, net: &NetParams, k: usize) -> u64 {
+        // Cap: 8x the expected (k + D) · epochs_per_packet · |epoch|
+        // budget.
+        let cfg = self.resolve(net);
+        let epoch = Decay::new(cfg.delta_bound).epoch_len() as u64;
+        8 * ((k as u64 + net.diameter as u64 + 2) * cfg.epochs_per_packet as u64 * epoch) + 64
+    }
+
+    fn delivered(&self, node: &BiiNode) -> Vec<PacketKey> {
+        node.known().iter().map(|p| p.key).collect()
+    }
+
+    fn finish(&self, _obs: NoopObserver, _nodes: &[BiiNode], _end: &SessionEnd) {}
 }
 
 #[cfg(test)]

@@ -128,7 +128,9 @@ impl Config {
     /// Group size for Stage 4 (the paper's `⌈log n⌉` unless overridden).
     #[must_use]
     pub fn group_size(&self) -> usize {
-        self.group_size_override.unwrap_or_else(|| self.log_n()).max(1)
+        self.group_size_override
+            .unwrap_or_else(|| self.log_n())
+            .max(1)
     }
 
     /// Rounds of one Stage 4 (`FORWARD`) phase:
@@ -163,10 +165,7 @@ mod tests {
         assert_eq!(c.group_size(), 8);
         assert_eq!(c.initial_estimate(), (10 + 8) * 8);
         assert_eq!(c.grab_floor(), 16);
-        assert_eq!(
-            c.stage3_start(),
-            c.stage1_rounds() + c.stage2_rounds()
-        );
+        assert_eq!(c.stage3_start(), c.stage1_rounds() + c.stage2_rounds());
     }
 
     #[test]
@@ -195,7 +194,10 @@ mod tests {
         c.group_size_override = Some(1);
         assert_eq!(c.group_size(), 1);
         assert!(c.forward_phase_rounds() < coded_phase);
-        assert_eq!(c.stage3_start(), Config::for_network(256, 10, 8).stage3_start());
+        assert_eq!(
+            c.stage3_start(),
+            Config::for_network(256, 10, 8).stage3_start()
+        );
     }
 
     #[test]

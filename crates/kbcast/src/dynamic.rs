@@ -26,6 +26,7 @@ use protocols::leader::{LeaderConfig, LeaderElection};
 use radio_net::engine::{Engine, Node};
 use radio_net::graph::NodeId;
 use radio_net::rng;
+use radio_net::session::{NoopObserver, SessionControl, SessionEnd};
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
 use rand::rngs::SmallRng;
@@ -33,6 +34,8 @@ use rand::rngs::SmallRng;
 use crate::config::Config;
 use crate::messages::Msg;
 use crate::packet::{Packet, PacketKey};
+use crate::runner::{RunOptions, Workload};
+use crate::session::{run_protocol_on_graph, BroadcastProtocol, NetParams};
 use crate::stage3::CollectState;
 use crate::stage4::DissemState;
 
@@ -215,7 +218,11 @@ impl DynamicNode {
             return;
         }
         self.ensure_bfs();
-        let parent = self.bfs.as_ref().and_then(|b| b.label()).and_then(|l| l.parent);
+        let parent = self
+            .bfs
+            .as_ref()
+            .and_then(|b| b.label())
+            .and_then(|l| l.parent);
         let mut eligible: Vec<Packet> = std::mem::take(&mut self.pending);
         if self.is_root {
             // The batch marker guarantees k_b >= 1 so that every node can
@@ -254,7 +261,8 @@ impl DynamicNode {
                 }
             }
             let d = DissemState::new_root_in_batch(self.cfg, collected, self.batch);
-            self.batch_end = Some(self.s4_start.expect("just set") + d.total_rounds().expect("root knows g"));
+            self.batch_end =
+                Some(self.s4_start.expect("just set") + d.total_rounds().expect("root knows g"));
             self.dissem = Some(d);
         } else {
             let dist = self.bfs.as_ref().and_then(|b| b.label()).map(|l| l.dist);
@@ -378,8 +386,7 @@ impl Node for DynamicNode {
                 self.ensure_bfs();
                 if c.batch == self.batch {
                     if self.dissem.is_none() && !self.is_root {
-                        let dist =
-                            self.bfs.as_ref().and_then(|b| b.label()).map(|l| l.dist);
+                        let dist = self.bfs.as_ref().and_then(|b| b.label()).map(|l| l.dist);
                         self.dissem =
                             Some(DissemState::new_node_in_batch(self.cfg, dist, self.batch));
                     }
@@ -405,8 +412,7 @@ impl Node for DynamicNode {
                     rx.deliver(c);
                     if rx.is_complete() {
                         for p in rx.packets() {
-                            if p.key.origin != MARKER_ORIGIN && self.delivered_keys.insert(p.key)
-                            {
+                            if p.key.origin != MARKER_ORIGIN && self.delivered_keys.insert(p.key) {
                                 self.delivered.push(p);
                             }
                         }
@@ -454,7 +460,8 @@ impl DynamicReport {
 
 /// Runs the dynamic protocol on `topology` with the given arrival
 /// schedule, for at most `horizon` rounds (it stops early once every
-/// arrived packet reached every node).
+/// arrived packet reached every node). A thin wrapper over the generic
+/// session driver with a [`DynamicProtocol`].
 ///
 /// # Errors
 ///
@@ -473,9 +480,6 @@ pub fn run_dynamic(
 ) -> Result<DynamicReport, radio_net::error::Error> {
     let graph = topology.build(seed)?;
     let n = graph.len();
-    let cfg = config.unwrap_or_else(|| {
-        Config::for_network(n, graph.diameter().unwrap_or(0), graph.max_degree())
-    });
     assert!(
         arrivals.iter().any(|a| a.round == 0),
         "at least one packet must be present at round 0"
@@ -485,78 +489,194 @@ pub fn run_dynamic(
         "arrival at nonexistent node"
     );
 
-    let mut schedule: HashMap<u64, Vec<(usize, Vec<u8>)>> = HashMap::new();
     let mut initial: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
-    let mut arrival_round: HashMap<PacketKey, u64> = HashMap::new();
-    let mut seq_at: Vec<u32> = vec![0; n];
     for a in arrivals {
-        let key = PacketKey {
-            origin: a.node as u64,
-            seq: seq_at[a.node],
-        };
-        seq_at[a.node] += 1;
-        arrival_round.insert(key, a.round);
         if a.round == 0 {
             initial[a.node].push(a.payload.clone());
-        } else {
-            schedule.entry(a.round).or_default().push((a.node, a.payload.clone()));
         }
     }
-    let k = arrivals.len();
-
-    let nodes: Vec<DynamicNode> = (0..n)
-        .map(|i| {
-            DynamicNode::new(
-                cfg,
-                i as u64,
-                initial[i].clone(),
-                rng::stream(seed, i as u64),
-            )
-        })
-        .collect();
-    let awake: Vec<NodeId> = (0..n).filter(|&i| !initial[i].is_empty()).map(NodeId::new).collect();
-    let mut engine = Engine::new(graph, nodes, awake)?;
-
-    let mut injected = initial.iter().map(Vec::len).sum::<usize>();
-    while engine.round() < horizon {
-        let round = engine.round();
-        if let Some(batch) = schedule.remove(&round) {
-            for (node, payload) in batch {
-                engine.wake(NodeId::new(node));
-                engine.node_mut(NodeId::new(node)).inject(payload);
-                injected += 1;
-            }
-        }
-        engine.step();
-        if injected == k
-            && schedule.is_empty()
-            && engine.nodes().iter().all(|nd| nd.delivered_count() == k)
-        {
-            break;
-        }
-    }
-
-    let success = engine.nodes().iter().all(|nd| nd.delivered_count() == k);
-    let rounds_total = engine.round();
-    let root = engine.nodes().iter().find(|nd| nd.is_root());
-    let batches: Vec<BatchRecord> = root.map(|r| r.history().to_vec()).unwrap_or_default();
-    let mut latencies = Vec::new();
-    for b in &batches {
-        for key in &b.keys {
-            if let Some(&arr) = arrival_round.get(key) {
-                latencies.push(b.end.saturating_sub(arr));
-            }
-        }
-    }
+    let workload = Workload::new(initial);
+    let protocol = DynamicProtocol {
+        arrivals,
+        config,
+        horizon,
+    };
+    let r = run_protocol_on_graph(&protocol, graph, &workload, seed, RunOptions::default())?;
     Ok(DynamicReport {
-        n,
-        k,
-        success,
-        rounds_total,
-        batches,
-        latencies,
-        stats: *engine.stats(),
+        n: r.n,
+        k: r.k,
+        success: r.success,
+        rounds_total: r.rounds_total,
+        batches: r.meta.batches,
+        latencies: r.meta.latencies,
+        stats: r.stats,
     })
+}
+
+/// The dynamic batch-pipelining variant as a [`BroadcastProtocol`].
+///
+/// The workload handed to the driver covers only the round-0 arrivals
+/// (they wake the network); later arrivals are injected by the
+/// protocol's session control hook, which also owns the stop condition
+/// (every arrived packet delivered everywhere).
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicProtocol<'a> {
+    /// The full arrival schedule (at least one arrival at round 0).
+    pub arrivals: &'a [Arrival],
+    /// Explicit configuration, or `None` for [`Config::for_network`].
+    pub config: Option<Config>,
+    /// Round budget of the session.
+    pub horizon: u64,
+}
+
+/// Completion metadata of a [`DynamicProtocol`] session.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DynamicMeta {
+    /// Closed batches (root's view).
+    pub batches: Vec<BatchRecord>,
+    /// Per-packet latency (arrival round → end of its batch), when its
+    /// batch closed within the horizon.
+    pub latencies: Vec<u64>,
+}
+
+impl BroadcastProtocol for DynamicProtocol<'_> {
+    type Node = DynamicNode;
+    type Obs = NoopObserver;
+    type Meta = DynamicMeta;
+
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn build(
+        &self,
+        net: &NetParams,
+        workload: &Workload,
+        seed: u64,
+    ) -> (Vec<DynamicNode>, Vec<NodeId>) {
+        let cfg = self
+            .config
+            .unwrap_or_else(|| Config::for_network(net.n, net.diameter, net.max_degree));
+        let awake = (0..net.n)
+            .filter(|&i| !workload.payloads_of(i).is_empty())
+            .map(NodeId::new)
+            .collect();
+        let nodes = (0..net.n)
+            .map(|i| {
+                DynamicNode::new(
+                    cfg,
+                    i as u64,
+                    workload.payloads_of(i).to_vec(),
+                    rng::stream(seed, i as u64),
+                )
+            })
+            .collect();
+        (nodes, awake)
+    }
+
+    fn observer(&self, _net: &NetParams) -> NoopObserver {
+        NoopObserver
+    }
+
+    fn round_cap(&self, _net: &NetParams, _k: usize) -> u64 {
+        self.horizon
+    }
+
+    fn expected_keys(&self, workload: &Workload) -> Vec<PacketKey> {
+        // Every arrival at node `i` eventually gets a key `(i, seq)`
+        // with consecutive per-node sequence numbers, so the expected
+        // set is fully determined by per-node arrival counts.
+        let mut counts = vec![0u32; workload.len()];
+        for a in self.arrivals {
+            counts[a.node] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &c)| {
+                (0..c).map(move |seq| PacketKey {
+                    origin: i as u64,
+                    seq,
+                })
+            })
+            .collect()
+    }
+
+    fn delivered(&self, node: &DynamicNode) -> Vec<PacketKey> {
+        node.delivered().iter().map(|p| p.key).collect()
+    }
+
+    fn drive(
+        &self,
+        engine: &mut Engine<DynamicNode>,
+        cap: u64,
+        obs: &mut NoopObserver,
+    ) -> SessionEnd {
+        let mut schedule: HashMap<u64, Vec<(usize, Vec<u8>)>> = HashMap::new();
+        for a in self.arrivals {
+            if a.round > 0 {
+                schedule
+                    .entry(a.round)
+                    .or_default()
+                    .push((a.node, a.payload.clone()));
+            }
+        }
+        let k = self.arrivals.len();
+        let mut injected = k - schedule.values().map(Vec::len).sum::<usize>();
+        let end = engine.run_session_with(cap, obs, |e| {
+            let round = e.round();
+            // Stop once everything arrived and reached every node —
+            // evaluated after each executed round, before this round's
+            // injections, matching the historical hand-rolled loop.
+            if round > 0
+                && injected == k
+                && schedule.is_empty()
+                && e.nodes().iter().all(|nd| nd.delivered_count() == k)
+            {
+                return SessionControl::Stop;
+            }
+            if round < cap {
+                if let Some(batch) = schedule.remove(&round) {
+                    for (node, payload) in batch {
+                        e.wake(NodeId::new(node));
+                        e.node_mut(NodeId::new(node)).inject(payload);
+                        injected += 1;
+                    }
+                }
+            }
+            SessionControl::Continue
+        });
+        // Success is delivery, not early exit: a run that fills the
+        // horizon exactly when the last node decodes still completed.
+        SessionEnd {
+            completed: engine.nodes().iter().all(|nd| nd.delivered_count() == k),
+            rounds: end.rounds,
+        }
+    }
+
+    fn finish(&self, _obs: NoopObserver, nodes: &[DynamicNode], _end: &SessionEnd) -> DynamicMeta {
+        let root = nodes.iter().find(|nd| nd.is_root());
+        let batches: Vec<BatchRecord> = root.map(|r| r.history().to_vec()).unwrap_or_default();
+        let mut arrival_round: HashMap<PacketKey, u64> = HashMap::new();
+        let mut seq_at: Vec<u32> = vec![0; nodes.len()];
+        for a in self.arrivals {
+            let key = PacketKey {
+                origin: a.node as u64,
+                seq: seq_at[a.node],
+            };
+            seq_at[a.node] += 1;
+            arrival_round.insert(key, a.round);
+        }
+        let mut latencies = Vec::new();
+        for b in &batches {
+            for key in &b.keys {
+                if let Some(&arr) = arrival_round.get(key) {
+                    latencies.push(b.end.saturating_sub(arr));
+                }
+            }
+        }
+        DynamicMeta { batches, latencies }
+    }
 }
 
 #[cfg(test)]
@@ -581,8 +701,14 @@ mod tests {
     fn static_case_reduces_to_one_batch() {
         // All arrivals at round 0: one batch carries everything.
         let arrivals = steady_arrivals(16, 12, 1, 0);
-        let r = run_dynamic(&Topology::Gnp { n: 16, p: 0.35 }, &arrivals, None, 1, 200_000)
-            .unwrap();
+        let r = run_dynamic(
+            &Topology::Gnp { n: 16, p: 0.35 },
+            &arrivals,
+            None,
+            1,
+            200_000,
+        )
+        .unwrap();
         assert!(r.success, "{r:?}");
         assert_eq!(r.batches.len(), 1);
         assert_eq!(r.batches[0].k, 12);
@@ -600,8 +726,14 @@ mod tests {
                 payload: vec![0xBB, i as u8],
             });
         }
-        let r = run_dynamic(&Topology::Gnp { n: 16, p: 0.35 }, &arrivals, None, 2, 400_000)
-            .unwrap();
+        let r = run_dynamic(
+            &Topology::Gnp { n: 16, p: 0.35 },
+            &arrivals,
+            None,
+            2,
+            400_000,
+        )
+        .unwrap();
         assert!(r.success, "{r:?}");
         assert!(r.batches.len() >= 2, "batches: {:?}", r.batches.len());
         let first_batch_keys = &r.batches[0].keys;
@@ -628,10 +760,19 @@ mod tests {
                 payload: vec![2],
             },
         ];
-        let r = run_dynamic(&Topology::Grid2d { rows: 3, cols: 3 }, &arrivals, None, 3, 600_000)
-            .unwrap();
+        let r = run_dynamic(
+            &Topology::Grid2d { rows: 3, cols: 3 },
+            &arrivals,
+            None,
+            3,
+            600_000,
+        )
+        .unwrap();
         assert!(r.success, "{r:?}");
-        assert!(r.batches.iter().any(|b| b.k == 0), "expected marker-only batches");
+        assert!(
+            r.batches.iter().any(|b| b.k == 0),
+            "expected marker-only batches"
+        );
         assert_eq!(
             r.batches.iter().map(|b| b.k).sum::<usize>(),
             2,
@@ -642,8 +783,14 @@ mod tests {
     #[test]
     fn batch_boundaries_are_contiguous() {
         let arrivals = steady_arrivals(12, 4, 3, 3_000);
-        let r = run_dynamic(&Topology::Gnp { n: 12, p: 0.4 }, &arrivals, None, 4, 500_000)
-            .unwrap();
+        let r = run_dynamic(
+            &Topology::Gnp { n: 12, p: 0.4 },
+            &arrivals,
+            None,
+            4,
+            500_000,
+        )
+        .unwrap();
         assert!(r.success, "{r:?}");
         for w in r.batches.windows(2) {
             assert_eq!(w[0].end, w[1].start, "batches must tile time");

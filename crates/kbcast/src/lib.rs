@@ -41,10 +41,14 @@ pub mod messages;
 pub mod node;
 pub mod packet;
 pub mod runner;
+pub mod session;
 pub mod stage3;
 pub mod stage4;
 
 pub use config::Config;
 pub use node::KbcastNode;
 pub use packet::{Packet, PacketKey};
-pub use runner::{run, RunReport, Workload};
+pub use runner::{run, CodedProtocol, RunReport, Workload};
+pub use session::{
+    run_protocol, run_protocol_on_graph, BroadcastProtocol, NetParams, SessionReport,
+};

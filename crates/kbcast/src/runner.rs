@@ -1,15 +1,16 @@
 //! End-to-end execution harness: build a network, place packets, run the
 //! protocol, verify delivery and report round counts.
 
-use radio_net::engine::Engine;
 use radio_net::graph::{Graph, NodeId};
 use radio_net::rng;
+use radio_net::session::{Observer, RoundEvents, SessionEnd};
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
 
 use crate::config::Config;
 use crate::node::{KbcastNode, TxCounts};
 use crate::packet::Packet;
+use crate::session::{run_protocol_on_graph, BroadcastProtocol, NetParams};
 use crate::stage3::schedule;
 
 /// Where the `k` packets initially live: `payloads[i]` is the list of
@@ -91,6 +92,28 @@ impl Workload {
             .map(|(s, p)| Packet::new(i as u64, s as u32, p.clone()))
             .collect()
     }
+
+    /// The raw payloads of node `i` (no packet allocation).
+    #[must_use]
+    pub fn payloads_of(&self, i: usize) -> &[Vec<u8>] {
+        &self.payloads[i]
+    }
+
+    /// The sorted ground-truth key set of all `k` packets, built
+    /// without cloning any payload.
+    #[must_use]
+    pub fn keys(&self) -> Vec<crate::packet::PacketKey> {
+        self.payloads
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ps)| {
+                (0..ps.len()).map(move |s| crate::packet::PacketKey {
+                    origin: i as u64,
+                    seq: s as u32,
+                })
+            })
+            .collect()
+    }
 }
 
 /// Per-stage round counts, measured at the root.
@@ -156,6 +179,30 @@ pub struct RunOptions {
     /// Override the default round cap (None = the formula in
     /// [`round_cap`]).
     pub max_rounds: Option<u64>,
+}
+
+impl RunOptions {
+    /// Checks the options before any engine state is built.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`radio_net::error::Error::InvalidParameter`] for a
+    /// `loss_rate` outside `[0, 1)` or `max_rounds == Some(0)` (a
+    /// zero-round run can never deliver anything; use `None` for the
+    /// default cap).
+    pub fn validate(&self) -> Result<(), radio_net::error::Error> {
+        if !(0.0..1.0).contains(&self.loss_rate) {
+            return Err(radio_net::error::Error::InvalidParameter {
+                reason: format!("loss_rate {} must be in [0, 1)", self.loss_rate),
+            });
+        }
+        if self.max_rounds == Some(0) {
+            return Err(radio_net::error::Error::InvalidParameter {
+                reason: "max_rounds must be at least 1 (use None for the default cap)".into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// A conservative round cap for a run: twice the sum of the scheduled
@@ -241,6 +288,11 @@ pub fn run_with_options(
 /// to derive a [`Config`] can hand the same graph here instead of
 /// building the topology a second time.
 ///
+/// This is a thin wrapper over the generic session driver
+/// ([`crate::session::run_protocol_on_graph`]) with a
+/// [`CodedProtocol`], reshaping its report into the historical
+/// [`RunReport`].
+///
 /// # Errors
 ///
 /// Propagates invalid options.
@@ -255,114 +307,178 @@ pub fn run_on_graph(
     seed: u64,
     options: RunOptions,
 ) -> Result<RunReport, radio_net::error::Error> {
-    let n = graph.len();
-    assert_eq!(
-        workload.len(),
-        n,
-        "workload shaped for {} nodes, graph has {n}",
-        workload.len()
-    );
-    let diameter = graph.diameter().unwrap_or(0);
-    let max_degree = graph.max_degree();
-    let cfg = config.unwrap_or_else(|| Config::for_network(n, diameter, max_degree));
-    let k = workload.k();
+    let protocol = CodedProtocol {
+        config,
+        uncoded: false,
+    };
+    let r = run_protocol_on_graph(&protocol, graph, workload, seed, options)?;
+    Ok(RunReport {
+        n: r.n,
+        k: r.k,
+        diameter: r.diameter,
+        max_degree: r.max_degree,
+        success: r.success,
+        rounds_total: r.rounds_total,
+        stages: r.meta.stages,
+        collection_phases: r.meta.collection_phases,
+        delivered_fraction: r.delivered_fraction,
+        stats: r.stats,
+        tx_by_type: r.meta.tx_by_type,
+    })
+}
 
-    let per_node: Vec<Vec<Packet>> = (0..n).map(|i| workload.packets_of(i)).collect();
-    let mut expected: Vec<Packet> = per_node.iter().flatten().cloned().collect();
-    expected.sort_by_key(|p| p.key);
+/// The paper's four-stage coded algorithm as a [`BroadcastProtocol`].
+///
+/// `config: None` derives [`Config::for_network`] from the probed
+/// graph; `uncoded: true` forces `group_size_override = Some(1)` (the
+/// no-coding-gain ablation of experiment E2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CodedProtocol {
+    /// Explicit configuration, or `None` for [`Config::for_network`].
+    pub config: Option<Config>,
+    /// Disable Stage 4 coding gain (`group_size_override = Some(1)`).
+    pub uncoded: bool,
+}
 
-    if k == 0 {
-        // Nothing to broadcast: the protocol never starts (no node wakes).
-        return Ok(RunReport {
-            n,
-            k,
-            diameter,
-            max_degree,
-            success: true,
-            rounds_total: 0,
-            stages: StageRounds::default(),
-            collection_phases: 0,
-            delivered_fraction: 1.0,
-            stats: SimStats::new(),
-            tx_by_type: TxCounts::default(),
-        });
-    }
-
-    let awake: Vec<NodeId> = per_node
-        .iter()
-        .enumerate()
-        .filter(|(_, pkts)| !pkts.is_empty())
-        .map(|(i, _)| NodeId::new(i))
-        .collect();
-    let nodes: Vec<KbcastNode> = per_node
-        .into_iter()
-        .enumerate()
-        .map(|(i, pkts)| KbcastNode::new(cfg, i as u64, pkts, rng::stream(seed, i as u64)))
-        .collect();
-    let mut engine = Engine::new(graph, nodes, awake)?;
-    if options.loss_rate > 0.0 {
-        engine.set_loss(options.loss_rate, seed)?;
-    }
-    let cap = options.max_rounds.unwrap_or_else(|| round_cap(&cfg, k));
-    let all_done = engine.run_until_all_done(cap);
-    let rounds_total = engine.round();
-
-    // Verify delivery against the ground-truth packet set.
-    let mut delivered_sum = 0.0f64;
-    let mut success = all_done;
-    for node in engine.nodes() {
-        let mut got = node.packets();
-        got.sort_by_key(|p| p.key);
-        got.dedup();
-        #[allow(clippy::cast_precision_loss)]
-        {
-            delivered_sum +=
-                got.iter().filter(|p| expected.binary_search_by_key(&p.key, |e| e.key).is_ok()).count() as f64
-                    / k as f64;
+impl CodedProtocol {
+    fn resolve(&self, net: &NetParams) -> Config {
+        let mut cfg = self
+            .config
+            .unwrap_or_else(|| Config::for_network(net.n, net.diameter, net.max_degree));
+        if self.uncoded {
+            cfg.group_size_override = Some(1);
         }
-        if got != expected {
-            success = false;
+        cfg
+    }
+}
+
+/// Stage/phase instrumentation for a [`CodedProtocol`] session.
+///
+/// Locates the root with a single node scan right after Stage 1 ends
+/// (leader flags are final from that round on) and then tracks the
+/// root's collection progress in O(1) per round — the session driver
+/// never introspects node internals after the run.
+#[derive(Debug)]
+pub struct StageObserver {
+    cfg: Config,
+    root: Option<usize>,
+    scanned: bool,
+    collect_end: Option<u64>,
+    phases: u32,
+}
+
+impl Observer<KbcastNode> for StageObserver {
+    fn on_round(&mut self, events: &RoundEvents, nodes: &[KbcastNode]) {
+        if !self.scanned && events.round >= self.cfg.stage1_rounds() {
+            // Election winners finalize their flag during the first
+            // post-Stage-1 poll, so one scan here is definitive.
+            self.root = nodes.iter().position(KbcastNode::is_root);
+            self.scanned = true;
+        }
+        if let Some(r) = self.root {
+            let root = &nodes[r];
+            if self.collect_end.is_none() {
+                self.collect_end = root.collection_finished_at();
+            }
+            if let Some(p) = root.collection_phase() {
+                self.phases = p;
+            }
+        }
+    }
+}
+
+/// Completion metadata of a [`CodedProtocol`] session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KbcastMeta {
+    /// Per-stage breakdown (valid when the run succeeded).
+    pub stages: StageRounds,
+    /// Collection phases executed by the root.
+    pub collection_phases: u32,
+    /// Transmissions by message type, summed over all nodes.
+    pub tx_by_type: TxCounts,
+}
+
+impl BroadcastProtocol for CodedProtocol {
+    type Node = KbcastNode;
+    type Obs = StageObserver;
+    type Meta = KbcastMeta;
+
+    fn name(&self) -> &'static str {
+        if self.uncoded {
+            "uncoded"
+        } else {
+            "coded"
         }
     }
 
-    // Stage breakdown from the root's perspective.
-    let root = engine.nodes().iter().find(|nd| nd.is_root());
-    let (stages, collection_phases) = match root {
-        Some(r) => {
-            let collect = r.collection_finished_at().unwrap_or(0);
-            let s123 = cfg.stage3_start() + collect;
+    fn build(
+        &self,
+        net: &NetParams,
+        workload: &Workload,
+        seed: u64,
+    ) -> (Vec<KbcastNode>, Vec<NodeId>) {
+        let cfg = self.resolve(net);
+        let awake = (0..net.n)
+            .filter(|&i| !workload.payloads_of(i).is_empty())
+            .map(NodeId::new)
+            .collect();
+        let nodes = (0..net.n)
+            .map(|i| {
+                KbcastNode::new(
+                    cfg,
+                    i as u64,
+                    workload.packets_of(i),
+                    rng::stream(seed, i as u64),
+                )
+            })
+            .collect();
+        (nodes, awake)
+    }
+
+    fn observer(&self, net: &NetParams) -> StageObserver {
+        StageObserver {
+            cfg: self.resolve(net),
+            root: None,
+            scanned: false,
+            collect_end: None,
+            phases: 0,
+        }
+    }
+
+    fn round_cap(&self, net: &NetParams, k: usize) -> u64 {
+        round_cap(&self.resolve(net), k)
+    }
+
+    fn delivered(&self, node: &KbcastNode) -> Vec<crate::packet::PacketKey> {
+        node.packets().iter().map(|p| p.key).collect()
+    }
+
+    fn finish(&self, obs: StageObserver, nodes: &[KbcastNode], end: &SessionEnd) -> KbcastMeta {
+        let (stages, collection_phases) = if obs.root.is_some() {
+            let collect = obs.collect_end.unwrap_or(0);
+            let s123 = obs.cfg.stage3_start() + collect;
             (
                 StageRounds {
-                    leader: cfg.stage1_rounds(),
-                    bfs: cfg.stage2_rounds(),
+                    leader: obs.cfg.stage1_rounds(),
+                    bfs: obs.cfg.stage2_rounds(),
                     collect,
-                    disseminate: rounds_total.saturating_sub(s123),
+                    disseminate: end.rounds.saturating_sub(s123),
                 },
-                r.collection_phase().unwrap_or(0),
+                obs.phases,
             )
+        } else {
+            (StageRounds::default(), 0)
+        };
+        let mut tx_by_type = TxCounts::default();
+        for node in nodes {
+            tx_by_type.add(&node.tx_counts());
         }
-        None => (StageRounds::default(), 0),
-    };
-
-    let mut tx_by_type = TxCounts::default();
-    for node in engine.nodes() {
-        tx_by_type.add(&node.tx_counts());
+        KbcastMeta {
+            stages,
+            collection_phases,
+            tx_by_type,
+        }
     }
-
-    #[allow(clippy::cast_precision_loss)]
-    Ok(RunReport {
-        n,
-        k,
-        diameter,
-        max_degree,
-        success,
-        rounds_total,
-        stages,
-        collection_phases,
-        delivered_fraction: delivered_sum / n as f64,
-        stats: *engine.stats(),
-        tx_by_type,
-    })
 }
 
 #[cfg(test)]

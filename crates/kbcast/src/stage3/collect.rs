@@ -360,7 +360,10 @@ impl CollectState {
                 p.acked = true;
             }
         } else if let Some(&child) = self.from_child.get(&a.key) {
-            self.relay_ack = Some(AckMsg { to: child, key: a.key });
+            self.relay_ack = Some(AckMsg {
+                to: child,
+                key: a.key,
+            });
         }
     }
 
@@ -430,9 +433,7 @@ mod tests {
         let nodes: Vec<CollectNode> = (0..n)
             .map(|i| {
                 let packets: Vec<Packet> = (0..packets_at[i])
-                    .map(|s| {
-                        Packet::new(i as u64, s as u32, vec![i as u8, s as u8])
-                    })
+                    .map(|s| Packet::new(i as u64, s as u32, vec![i as u8, s as u8]))
                     .collect();
                 expected.extend(packets.iter().cloned());
                 CollectNode {
@@ -459,8 +460,7 @@ mod tests {
             let n = 16;
             let mut packets = vec![0; n];
             packets[n - 1] = 3; // far end
-            let (ok, got, _, _) =
-                run_collection(&Topology::Path { n }, 0, &packets, seed);
+            let (ok, got, _, _) = run_collection(&Topology::Path { n }, 0, &packets, seed);
             assert!(ok, "seed {seed}: got {} packets", got.len());
         }
     }
@@ -520,8 +520,7 @@ mod tests {
     fn no_packets_anywhere_terminates_immediately() {
         // k = 0: no node alarms, the first phase is silent, stage ends.
         let n = 6;
-        let (ok, got, rounds, phases) =
-            run_collection(&Topology::Path { n }, 0, &vec![0; n], 3);
+        let (ok, got, rounds, phases) = run_collection(&Topology::Path { n }, 0, &vec![0; n], 3);
         assert!(ok);
         assert!(got.is_empty());
         assert_eq!(phases, 0);
@@ -655,9 +654,8 @@ mod tests {
         let pkt = Packet::new(1, 0, vec![1]);
         let mut st = CollectState::new(cfg, 1, false, None, vec![pkt], 0);
         let mut rng = rng::stream(1, 1);
-        let two_phases =
-            schedule::phase_rounds(cfg.initial_estimate(), &cfg)
-                + schedule::phase_rounds(2 * cfg.initial_estimate(), &cfg);
+        let two_phases = schedule::phase_rounds(cfg.initial_estimate(), &cfg)
+            + schedule::phase_rounds(2 * cfg.initial_estimate(), &cfg);
         for r in 0..=two_phases {
             let _ = st.poll(r, &mut rng);
         }

@@ -98,7 +98,8 @@ pub fn phase_rounds(x: usize, cfg: &Config) -> u64 {
 /// Estimate used in phase `p` (0-based): `x₀ · 2^p`, saturating.
 #[must_use]
 pub fn estimate_for_phase(p: u32, cfg: &Config) -> usize {
-    cfg.initial_estimate().saturating_mul(1usize.checked_shl(p).unwrap_or(usize::MAX))
+    cfg.initial_estimate()
+        .saturating_mul(1usize.checked_shl(p).unwrap_or(usize::MAX))
 }
 
 /// Stage-local start round of phase `p` (the sum of all earlier phases'

@@ -364,10 +364,7 @@ mod tests {
                 st: if i == root {
                     DissemState::new_root(cfg, packets.clone())
                 } else {
-                    DissemState::new_node(
-                        cfg,
-                        dist[i].map(|d| u32::try_from(d).unwrap()),
-                    )
+                    DissemState::new_node(cfg, dist[i].map(|d| u32::try_from(d).unwrap()))
                 },
                 rng: rng::stream(seed, i as u64),
             })
@@ -416,8 +413,7 @@ mod tests {
             assert!(ok, "grid seed {seed}");
             let (ok, _) = run_dissemination(&Topology::Star { n: 20 }, 0, 12, seed, None);
             assert!(ok, "star seed {seed}");
-            let (ok, _) =
-                run_dissemination(&Topology::Gnp { n: 30, p: 0.2 }, 2, 18, seed, None);
+            let (ok, _) = run_dissemination(&Topology::Gnp { n: 30, p: 0.2 }, 2, 18, seed, None);
             assert!(ok, "gnp seed {seed}");
         }
     }
@@ -432,8 +428,7 @@ mod tests {
 
     #[test]
     fn coded_beats_uncoded_in_rounds_for_large_k() {
-        let (ok_c, rounds_coded) =
-            run_dissemination(&Topology::Path { n: 10 }, 0, 48, 5, None);
+        let (ok_c, rounds_coded) = run_dissemination(&Topology::Path { n: 10 }, 0, 48, 5, None);
         let (ok_u, rounds_uncoded) =
             run_dissemination(&Topology::Path { n: 10 }, 0, 48, 5, Some(1));
         assert!(ok_c && ok_u);

@@ -7,7 +7,15 @@ use kbcast::Config;
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = Config> {
-    (2usize..5000, 1usize..64, 1usize..128, 1usize..5, 1usize..5, 1usize..4, 1usize..8)
+    (
+        2usize..5000,
+        1usize..64,
+        1usize..128,
+        1usize..5,
+        1usize..5,
+        1usize..4,
+        1usize..8,
+    )
         .prop_map(|(n, d, delta, c_or, c_bfs, c_grab, c_fwd)| {
             let mut cfg = Config::for_network(n, d, delta);
             cfg.c_or = c_or;

@@ -127,10 +127,11 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::std::result::Result::Err(
-                format!("assertion failed: {} != {}\n  both: {l:?}",
-                        stringify!($left), stringify!($right)),
-            );
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {l:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
         }
     }};
 }

@@ -179,8 +179,7 @@ mod tests {
             .collect();
         let mut e = Engine::new(g, nodes, [NodeId::new(root)]).unwrap();
         e.run(cfg.total_rounds());
-        let labels: Vec<Option<BfsLabel>> =
-            e.nodes().iter().map(BfsNode::label).collect();
+        let labels: Vec<Option<BfsLabel>> = e.nodes().iter().map(BfsNode::label).collect();
         for i in 0..n {
             let label = labels[i].unwrap_or_else(|| panic!("node {i} unlabeled (seed {seed})"));
             assert_eq!(
@@ -226,7 +225,14 @@ mod tests {
         for seed in 0..4 {
             check_bfs(&Topology::Gnp { n: 40, p: 0.12 }, 0, seed);
             check_bfs(&Topology::RandomTree { n: 40 }, 7, seed);
-            check_bfs(&Topology::UnitDisk { n: 40, radius: 0.35 }, 1, seed);
+            check_bfs(
+                &Topology::UnitDisk {
+                    n: 40,
+                    radius: 0.35,
+                },
+                1,
+                seed,
+            );
         }
     }
 

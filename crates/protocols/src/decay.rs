@@ -154,8 +154,7 @@ mod tests {
                         }
                     })
                     .collect();
-                let mut e =
-                    Engine::new(g, nodes, (0..=delta).map(NodeId::new)).unwrap();
+                let mut e = Engine::new(g, nodes, (0..=delta).map(NodeId::new)).unwrap();
                 e.run(Decay::new(delta).epoch_len() as u64);
                 if let Star::Hub(h) = e.node(NodeId::new(0)) {
                     if h.received > 0 {

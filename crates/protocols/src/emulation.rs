@@ -235,7 +235,11 @@ mod tests {
 
     /// Runs `plans[node][emulated_round]` and returns every node's
     /// outcome sequence.
-    fn emulate(topology: &Topology, plans: Vec<Vec<Option<u64>>>, seed: u64) -> Vec<Vec<CdOutcome>> {
+    fn emulate(
+        topology: &Topology,
+        plans: Vec<Vec<Option<u64>>>,
+        seed: u64,
+    ) -> Vec<Vec<CdOutcome>> {
         let g = topology.build(seed).unwrap();
         let n = g.len();
         let delta = g.max_degree();
@@ -347,7 +351,11 @@ mod tests {
                 .copied()
                 .filter(|&id| (id >> shift) == (probe >> shift))
                 .collect();
-            plans_per_round.push((0..n).map(|i| senders.contains(&(i as u64)).then_some(i as u64)).collect());
+            plans_per_round.push(
+                (0..n)
+                    .map(|i| senders.contains(&(i as u64)).then_some(i as u64))
+                    .collect(),
+            );
             if !senders.is_empty() {
                 prefix = probe;
                 alive.retain(|&id| (id >> shift) == (probe >> shift));

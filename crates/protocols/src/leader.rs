@@ -154,8 +154,8 @@ impl LeaderElection {
         if self.cfg.id_bits == 0 {
             return;
         }
-        let target = u32::try_from(local_round / self.cfg.window_rounds)
-            .expect("window index fits u32");
+        let target =
+            u32::try_from(local_round / self.cfg.window_rounds).expect("window index fits u32");
         while self.window < target && self.window < self.cfg.id_bits {
             self.close_window();
             self.arm_window(self.window + 1);
@@ -281,7 +281,12 @@ mod tests {
         };
         let nodes: Vec<ElectionNode> = (0..n)
             .map(|i| {
-                ElectionNode::new(cfg, ids[i], candidates.contains(&i), rng::stream(seed, i as u64))
+                ElectionNode::new(
+                    cfg,
+                    ids[i],
+                    candidates.contains(&i),
+                    rng::stream(seed, i as u64),
+                )
             })
             .collect();
         let awake: Vec<NodeId> = candidates.iter().map(|&c| NodeId::new(c)).collect();
@@ -313,12 +318,8 @@ mod tests {
     fn works_with_arbitrary_ids_and_dense_graphs() {
         for seed in 0..5 {
             let ids = vec![12, 3, 30, 7, 25, 1, 19, 28, 2, 9];
-            let outcomes = run_election(
-                &Topology::Complete { n: 10 },
-                &ids,
-                &[0, 1, 3, 5, 8],
-                seed,
-            );
+            let outcomes =
+                run_election(&Topology::Complete { n: 10 }, &ids, &[0, 1, 3, 5, 8], seed);
             // Max id among candidates {12, 3, 7, 1, 2} is 12 (node 0).
             for (i, o) in &outcomes {
                 assert_eq!(o.leader_id, 12, "seed {seed}");
@@ -331,7 +332,16 @@ mod tests {
     fn single_candidate_elects_itself() {
         let ids: Vec<u64> = (0..12).map(|i| i as u64).collect();
         let outcomes = run_election(&Topology::Grid2d { rows: 3, cols: 4 }, &ids, &[5], 1);
-        assert_eq!(outcomes, vec![(5, LeaderOutcome { leader_id: 5, is_leader: true })]);
+        assert_eq!(
+            outcomes,
+            vec![(
+                5,
+                LeaderOutcome {
+                    leader_id: 5,
+                    is_leader: true
+                }
+            )]
+        );
     }
 
     #[test]
@@ -358,12 +368,7 @@ mod tests {
             let ids: Vec<u64> = (0..n as u64).map(|i| (i * 7) % 32).collect();
             let candidates: Vec<usize> = vec![0, 5, 11, 23, 29];
             let expect = candidates.iter().map(|&c| ids[c]).max().unwrap();
-            let outcomes = run_election(
-                &Topology::Gnp { n, p: 0.15 },
-                &ids,
-                &candidates,
-                seed,
-            );
+            let outcomes = run_election(&Topology::Gnp { n, p: 0.15 }, &ids, &candidates, seed);
             for (i, o) in &outcomes {
                 assert_eq!(o.leader_id, expect, "seed {seed} node {i}");
             }

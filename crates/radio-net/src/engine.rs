@@ -12,6 +12,7 @@ use rand::Rng;
 use crate::error::Error;
 use crate::graph::{Graph, NodeId};
 use crate::message::MessageSize;
+use crate::session::{NoopObserver, Observer, RoundEvents, SessionControl, SessionEnd};
 use crate::stats::{RoundOutcome, SimStats};
 
 /// A per-node protocol state machine driven by the [`Engine`].
@@ -324,19 +325,80 @@ impl<N: Node> Engine<N> {
     /// Runs until every node reports [`Node::is_done`], for at most
     /// `max_rounds` rounds. Returns `true` on success.
     ///
+    /// Equivalent to a [`Engine::run_session`] with a
+    /// [`NoopObserver`], which compiles down to the bare step loop.
+    pub fn run_until_all_done(&mut self, max_rounds: u64) -> bool {
+        self.run_session(max_rounds, &mut NoopObserver).completed
+    }
+
+    /// Executes one round and reports it to `obs` — the round's channel
+    /// events plus read-only access to every node state machine.
+    pub fn step_observed<O: Observer<N>>(&mut self, obs: &mut O) -> RoundOutcome {
+        let wakeups_before = self.stats.wakeups;
+        let out = self.step();
+        let events = RoundEvents {
+            round: out.round,
+            transmissions: out.transmissions,
+            receptions: out.receptions,
+            collisions: out.collisions,
+            wakeups: usize::try_from(self.stats.wakeups - wakeups_before)
+                .expect("per-round wakeups fit usize"),
+        };
+        obs.on_round(&events, &self.nodes);
+        out
+    }
+
+    /// The engine-owned session loop: runs rounds until every node
+    /// reports [`Node::is_done`] or `max_rounds` rounds elapsed,
+    /// invoking `obs` after every round.
+    ///
     /// Uses the incrementally maintained done counter (see
     /// [`Engine::all_done`]) instead of scanning every node each round.
-    pub fn run_until_all_done(&mut self, max_rounds: u64) -> bool {
-        if self.all_done() {
-            return true;
+    pub fn run_session<O: Observer<N>>(&mut self, max_rounds: u64, obs: &mut O) -> SessionEnd {
+        self.run_session_with(max_rounds, obs, |e| {
+            if e.all_done() {
+                SessionControl::Stop
+            } else {
+                SessionControl::Continue
+            }
+        })
+    }
+
+    /// [`Engine::run_session`] with a custom control hook in place of
+    /// the all-done stop condition.
+    ///
+    /// `control` is called with mutable engine access before the first
+    /// round and again after every round, so a harness can inject
+    /// external events for the round about to execute (dynamic packet
+    /// arrivals via [`Engine::wake`] / [`Engine::node_mut`]) and decide
+    /// when the session is over. Returning [`SessionControl::Stop`]
+    /// ends the session as completed; exhausting `max_rounds` ends it
+    /// as not completed.
+    pub fn run_session_with<O: Observer<N>>(
+        &mut self,
+        max_rounds: u64,
+        obs: &mut O,
+        mut control: impl FnMut(&mut Self) -> SessionControl,
+    ) -> SessionEnd {
+        if control(self) == SessionControl::Stop {
+            return SessionEnd {
+                completed: true,
+                rounds: self.round,
+            };
         }
         for _ in 0..max_rounds {
-            self.step();
-            if self.all_done() {
-                return true;
+            self.step_observed(obs);
+            if control(self) == SessionControl::Stop {
+                return SessionEnd {
+                    completed: true,
+                    rounds: self.round,
+                };
             }
         }
-        false
+        SessionEnd {
+            completed: false,
+            rounds: self.round,
+        }
     }
 
     /// The round about to be executed (0 before the first [`Engine::step`]).
@@ -501,10 +563,7 @@ mod tests {
     fn transmitter_does_not_receive() {
         // path 0-1: both transmit simultaneously; neither receives.
         let g = topology::path(2).unwrap();
-        let nodes = vec![
-            Scripted::new(vec![Some(1)]),
-            Scripted::new(vec![Some(2)]),
-        ];
+        let nodes = vec![Scripted::new(vec![Some(1)]), Scripted::new(vec![Some(2)])];
         let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
         let out = e.step();
         assert_eq!(out.receptions, 0);
@@ -628,6 +687,98 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
+    }
+
+    /// Records every round's events; used to check observer plumbing.
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<RoundEvents>,
+    }
+
+    impl Observer<Scripted> for Recorder {
+        fn on_round(&mut self, events: &RoundEvents, _nodes: &[Scripted]) {
+            self.events.push(*events);
+        }
+    }
+
+    #[test]
+    fn observer_sees_per_round_events_matching_stats() {
+        // path 0-1-2, only node 0 awake: round 0 wakes node 1, round 1
+        // (node 1's plan) wakes node 2.
+        let g = topology::path(3).unwrap();
+        let nodes = vec![
+            Scripted::new(vec![Some(9)]),
+            Scripted::new(vec![None, Some(5)]),
+            Scripted::silent(),
+        ];
+        let mut e = Engine::new(g, nodes, [NodeId::new(0)]).unwrap();
+        let mut rec = Recorder::default();
+        let end = e.run_session(2, &mut rec);
+        assert!(!end.completed); // Scripted never reports done
+        assert_eq!(end.rounds, 2);
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0].round, 0);
+        assert_eq!(rec.events[0].transmissions, 1);
+        assert_eq!(rec.events[0].receptions, 1);
+        assert_eq!(rec.events[0].wakeups, 1);
+        assert_eq!(rec.events[1].round, 1);
+        assert_eq!(rec.events[1].wakeups, 1);
+        let total_rx: usize = rec.events.iter().map(|ev| ev.receptions).sum();
+        assert_eq!(total_rx as u64, e.stats().receptions);
+        let total_wake: usize = rec.events.iter().map(|ev| ev.wakeups).sum();
+        assert_eq!(total_wake as u64, e.stats().wakeups);
+    }
+
+    #[test]
+    fn observer_reads_node_state_each_round() {
+        // The observer can watch protocol-visible state evolve: count
+        // rounds until node 1 has received something.
+        struct FirstRx(Option<u64>);
+        impl Observer<Scripted> for FirstRx {
+            fn on_round(&mut self, events: &RoundEvents, nodes: &[Scripted]) {
+                if self.0.is_none() && !nodes[1].received.is_empty() {
+                    self.0 = Some(events.round);
+                }
+            }
+        }
+        let g = topology::path(2).unwrap();
+        let nodes = vec![Scripted::new(vec![None, None, Some(3)]), Scripted::silent()];
+        let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
+        let mut obs = FirstRx(None);
+        e.run_session(5, &mut obs);
+        assert_eq!(obs.0, Some(2));
+    }
+
+    #[test]
+    fn run_session_with_custom_control_stops_and_injects() {
+        // Control wakes the sleeping node 1 before round 1 and stops
+        // once it has transmitted (observed via stats).
+        let g = topology::path(2).unwrap();
+        let nodes = vec![Scripted::silent(), Scripted::new(vec![None, Some(7)])];
+        let mut e = Engine::new(g, nodes, [NodeId::new(0)]).unwrap();
+        let end = e.run_session_with(100, &mut NoopObserver, |e| {
+            if e.round() == 1 {
+                e.wake(NodeId::new(1));
+            }
+            if e.stats().transmissions > 0 {
+                SessionControl::Stop
+            } else {
+                SessionControl::Continue
+            }
+        });
+        assert!(end.completed);
+        assert_eq!(end.rounds, 2); // woken before round 1, transmitted in it
+        assert_eq!(e.node(NodeId::new(0)).received, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn run_session_precheck_stops_before_stepping() {
+        let g = topology::path(2).unwrap();
+        let nodes = vec![Scripted::silent(), Scripted::silent()];
+        let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
+        let end = e.run_session_with(100, &mut NoopObserver, |_| SessionControl::Stop);
+        assert!(end.completed);
+        assert_eq!(end.rounds, 0);
     }
 
     #[test]

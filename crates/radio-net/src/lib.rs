@@ -24,6 +24,10 @@
 //! * [`engine`] — the round loop: [`engine::Engine`] drives values
 //!   implementing [`engine::Node`] and enforces the collision semantics in
 //!   exactly one place.
+//! * [`session`] — the engine-owned run loop's harness surface:
+//!   [`session::Observer`] hooks see per-round [`session::RoundEvents`]
+//!   plus read-only node state, so reports come from instrumentation
+//!   instead of post-hoc introspection.
 //! * [`rng`] — deterministic per-node random streams so every simulation is
 //!   reproducible from a single `u64` seed.
 //! * [`stats`] — transmission/reception/collision accounting.
@@ -80,6 +84,7 @@ pub mod error;
 pub mod graph;
 pub mod message;
 pub mod rng;
+pub mod session;
 pub mod stats;
 pub mod topology;
 pub mod viz;
@@ -88,4 +93,5 @@ pub use engine::{Engine, Node};
 pub use error::Error;
 pub use graph::{Graph, NodeId};
 pub use message::MessageSize;
+pub use session::{NoopObserver, Observer, RoundEvents, SessionControl, SessionEnd};
 pub use stats::SimStats;

@@ -73,8 +73,14 @@ mod tests {
 
     #[test]
     fn streams_reproducible() {
-        let a: Vec<u32> = stream(7, 3).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = stream(7, 3).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = stream(7, 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = stream(7, 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -1,0 +1,106 @@
+//! Round observers and session outcomes for the engine-owned run loop.
+//!
+//! A *session* is one complete protocol execution driven by
+//! [`Engine::run_session`](crate::engine::Engine::run_session): the
+//! engine steps rounds until a stop condition holds and, after every
+//! round, hands an [`Observer`] that round's channel events plus
+//! read-only access to the node state machines. Harnesses build their
+//! reports from observer instrumentation instead of re-deriving them
+//! from node internals after the fact.
+//!
+//! Observation is zero-cost when unused: [`NoopObserver`]'s hook is an
+//! empty `#[inline]` body, so
+//! [`Engine::run_until_all_done`](crate::engine::Engine::run_until_all_done)
+//! — which is now a `NoopObserver` session — compiles to the same hot
+//! loop it had before observers existed.
+
+use crate::engine::Node;
+
+/// Everything that happened on the channel in one executed round.
+///
+/// Counts mirror the cumulative [`crate::stats::SimStats`] fields but
+/// are per-round deltas, so an observer can attribute channel activity
+/// to protocol phases without differencing the statistics itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundEvents {
+    /// The round that was just executed.
+    pub round: u64,
+    /// Nodes that transmitted this round.
+    pub transmissions: usize,
+    /// Successful receptions this round.
+    pub receptions: usize,
+    /// Listeners that lost a reception to a collision this round.
+    pub collisions: usize,
+    /// Sleeping nodes woken by their first reception this round.
+    pub wakeups: usize,
+}
+
+/// A harness-side hook invoked by the engine after every round of a
+/// session.
+///
+/// Observers see the same omniscient view the harness already had
+/// through [`crate::engine::Engine::nodes`] — protocol nodes themselves
+/// never observe each other. Implementations must not rely on being
+/// called for rounds executed outside a session (e.g. by a raw
+/// [`crate::engine::Engine::step`]).
+pub trait Observer<N: Node> {
+    /// Called once after every executed round with that round's channel
+    /// events and read-only access to all node state machines.
+    fn on_round(&mut self, events: &RoundEvents, nodes: &[N]);
+}
+
+/// The do-nothing observer: `on_round` is empty and inlines away, so a
+/// `NoopObserver` session costs exactly as much as the bare step loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl<N: Node> Observer<N> for NoopObserver {
+    #[inline(always)]
+    fn on_round(&mut self, _events: &RoundEvents, _nodes: &[N]) {}
+}
+
+/// Flow control returned by a session's control hook.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionControl {
+    /// Keep stepping rounds.
+    Continue,
+    /// Stop the session; it is reported as completed.
+    Stop,
+}
+
+/// How a session ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionEnd {
+    /// `true` if the stop condition held (rather than the round cap
+    /// running out).
+    pub completed: bool,
+    /// Engine round count when the session ended.
+    pub rounds: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Silent;
+    impl Node for Silent {
+        type Msg = u8;
+        fn poll(&mut self, _round: u64) -> Option<u8> {
+            None
+        }
+        fn receive(&mut self, _round: u64, _msg: &u8) {}
+    }
+
+    #[test]
+    fn noop_observer_is_callable() {
+        let mut o = NoopObserver;
+        let nodes = [Silent, Silent];
+        o.on_round(&RoundEvents::default(), &nodes);
+    }
+
+    #[test]
+    fn round_events_default_is_zeroed() {
+        let e = RoundEvents::default();
+        assert_eq!(e.transmissions + e.receptions + e.collisions + e.wakeups, 0);
+    }
+}

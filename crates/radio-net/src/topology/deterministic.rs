@@ -157,10 +157,12 @@ pub fn hypercube(d: usize) -> Result<Graph, Error> {
     require(d >= 1, "hypercube requires d >= 1")?;
     require(d <= 20, "hypercube dimension capped at 20")?;
     let n = 1usize << d;
-    let edges = (0..n).flat_map(|i| (0..d).filter_map(move |b| {
-        let j = i ^ (1 << b);
-        (i < j).then_some((i, j))
-    }));
+    let edges = (0..n).flat_map(|i| {
+        (0..d).filter_map(move |b| {
+            let j = i ^ (1 << b);
+            (i < j).then_some((i, j))
+        })
+    });
     Graph::from_edges(n, edges)
 }
 

@@ -14,7 +14,10 @@
 mod deterministic;
 mod random;
 
-pub use deterministic::{binary_tree, caterpillar, complete, cycle, dumbbell, grid2d, hypercube, lollipop, path, star, torus};
+pub use deterministic::{
+    binary_tree, caterpillar, complete, cycle, dumbbell, grid2d, hypercube, lollipop, path, star,
+    torus,
+};
 pub use random::{gnp_connected, random_regular, random_tree, unit_disk, MAX_ATTEMPTS};
 
 use std::fmt;
@@ -203,7 +206,10 @@ mod tests {
             Topology::Torus { rows: 3, cols: 4 },
             Topology::Hypercube { d: 3 },
             Topology::BinaryTree { n: 7 },
-            Topology::Dumbbell { clique: 3, bridge: 2 },
+            Topology::Dumbbell {
+                clique: 3,
+                bridge: 2,
+            },
             Topology::Lollipop { clique: 3, tail: 2 },
             Topology::Caterpillar { spine: 3, legs: 2 },
             Topology::Gnp { n: 16, p: 0.4 },

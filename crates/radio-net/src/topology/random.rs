@@ -117,7 +117,9 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<Graph, Error> {
     let mut rng = rng::stream(seed, salts::TOPOLOGY);
     let r2 = radius * radius;
     for _ in 0..MAX_ATTEMPTS {
-        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let mut edges = Vec::new();
         for i in 0..n {
             for j in i + 1..n {

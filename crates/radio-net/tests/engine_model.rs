@@ -48,7 +48,13 @@ fn reference(
     for r in 0..rounds {
         // Awake nodes transmit per their script.
         let tx: Vec<Option<u32>> = (0..n)
-            .map(|i| if awake[i] { plans[i].get(r).copied().flatten() } else { None })
+            .map(|i| {
+                if awake[i] {
+                    plans[i].get(r).copied().flatten()
+                } else {
+                    None
+                }
+            })
             .collect();
         let mut outcome = RoundOutcome {
             round: r as u64,

@@ -30,7 +30,10 @@ fn route_update(gateway: usize, route: usize) -> Vec<u8> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 96;
     // A metro-style backbone: two dense clusters joined by a bridge.
-    let topology = Topology::Dumbbell { clique: 45, bridge: 6 };
+    let topology = Topology::Dumbbell {
+        clique: 45,
+        bridge: 6,
+    };
     let gateways = [0usize, 50, 95];
     let updates_per_gateway = 64;
 
@@ -47,13 +50,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(report.success, "all routers must converge");
     let bii = run_bii(&topology, &workload, None, 3)?;
 
-    println!("backbone        : {topology} (n = {}, D = {}, Δ = {})", report.n, report.diameter, report.max_degree);
-    println!("gateways        : {:?}, {} updates each, k = {k}", gateways, updates_per_gateway);
+    println!(
+        "backbone        : {topology} (n = {}, D = {}, Δ = {})",
+        report.n, report.diameter, report.max_degree
+    );
+    println!(
+        "gateways        : {:?}, {} updates each, k = {k}",
+        gateways, updates_per_gateway
+    );
     println!();
-    println!("coded (paper)   : {:>7} rounds  ({:>6.1}/update)  success = {}",
-        report.rounds_total, report.amortized_rounds_per_packet(), report.success);
-    println!("BII baseline    : {:>7} rounds  ({:>6.1}/update)  success = {}",
-        bii.rounds_total, bii.amortized_rounds_per_packet(), bii.success);
+    println!(
+        "coded (paper)   : {:>7} rounds  ({:>6.1}/update)  success = {}",
+        report.rounds_total,
+        report.amortized_rounds_per_packet(),
+        report.success
+    );
+    println!(
+        "BII baseline    : {:>7} rounds  ({:>6.1}/update)  success = {}",
+        bii.rounds_total,
+        bii.amortized_rounds_per_packet(),
+        bii.success
+    );
     println!();
     println!(
         "stage breakdown : leader {} | bfs {} | collect {} | disseminate {}",

@@ -45,9 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max = readings.iter().max().unwrap();
     let mean = readings.iter().map(|&r| i64::from(r)).sum::<i64>() / n as i64;
 
-    println!("deployment      : {topology} (D = {}, Δ = {})", report.diameter, report.max_degree);
+    println!(
+        "deployment      : {topology} (D = {}, Δ = {})",
+        report.diameter, report.max_degree
+    );
     println!("readings shared : {}", report.k);
-    println!("rounds          : {} ({:.1}/reading)", report.rounds_total, report.amortized_rounds_per_packet());
+    println!(
+        "rounds          : {} ({:.1}/reading)",
+        report.rounds_total,
+        report.amortized_rounds_per_packet()
+    );
     println!("aggregates known at EVERY sensor:");
     println!("  min  = {:.3} °C", f64::from(*min) / 1000.0);
     println!("  max  = {:.3} °C", f64::from(*max) / 1000.0);

@@ -30,9 +30,7 @@ fn adjacency_payload(neighbors: &[NodeId]) -> Vec<u8> {
 fn parse_adjacency(payload: &[u8]) -> Vec<usize> {
     let count = u16::from_le_bytes(payload[..2].try_into().unwrap()) as usize;
     (0..count)
-        .map(|i| {
-            u32::from_le_bytes(payload[2 + 4 * i..6 + 4 * i].try_into().unwrap()) as usize
-        })
+        .map(|i| u32::from_le_bytes(payload[2 + 4 * i..6 + 4 * i].try_into().unwrap()) as usize)
         .collect()
 }
 

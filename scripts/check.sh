@@ -9,8 +9,16 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Engine-throughput regression gate (KB_SKIP_PERF=1 skips the ~1 min
+# benchmark, e.g. on loaded or throttled machines where wall-clock
+# numbers are meaningless).
+if [ "${KB_SKIP_PERF:-0}" != "1" ]; then
+    sh scripts/perf_gate.sh
+fi
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Perf gate: the engine hot loop must not regress. Reruns perf_smoke
+# (quick scale, scratch output via KB_BENCH_OUT) and fails if the
+# grid64x64/single_source throughput drops more than 20% below the
+# committed baseline in results/BENCH_engine.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+scenario="grid64x64/single_source"
+
+extract_rps() {
+    grep -o "\"scenario\": \"$scenario\"[^}]*" "$1" \
+        | grep -o '"rounds_per_sec": [0-9.]*' \
+        | grep -o '[0-9.]*$'
+}
+
+baseline=$(extract_rps results/BENCH_engine.json)
+[ -n "$baseline" ] || {
+    echo "perf_gate: no $scenario baseline in results/BENCH_engine.json" >&2
+    exit 1
+}
+
+out=target/BENCH_engine_gate.json
+KB_SCALE=quick KB_BENCH_OUT="$out" cargo run --release -q -p kbcast-bench --bin perf_smoke
+
+fresh=$(extract_rps "$out")
+[ -n "$fresh" ] || {
+    echo "perf_gate: perf_smoke produced no $scenario measurement" >&2
+    exit 1
+}
+
+awk -v fresh="$fresh" -v base="$baseline" 'BEGIN {
+    floor = 0.8 * base
+    printf "perf_gate: %s rounds/s (baseline %s, floor %.1f)\n", fresh, base, floor
+    exit !(fresh + 0 >= floor)
+}' || {
+    echo "perf_gate: engine throughput regressed more than 20% below the baseline" >&2
+    exit 1
+}

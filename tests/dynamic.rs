@@ -62,7 +62,11 @@ fn horizon_caps_unfinished_runs() {
 fn random_topology_with_steady_stream() {
     let mut arrivals = wave(0, &[0, 9, 18], 0);
     for w in 1..4u64 {
-        arrivals.extend(wave(w * 5_000, &[(w as usize * 7) % 27, (w as usize * 13) % 27], w as u8));
+        arrivals.extend(wave(
+            w * 5_000,
+            &[(w as usize * 7) % 27, (w as usize * 13) % 27],
+            w as u8,
+        ));
     }
     let r = run_dynamic(
         &Topology::Gnp { n: 27, p: 0.25 },

@@ -32,8 +32,14 @@ fn topology_zoo_spread_workload() {
         Topology::Torus { rows: 5, cols: 5 },
         Topology::Hypercube { d: 5 },
         Topology::BinaryTree { n: 31 },
-        Topology::Dumbbell { clique: 10, bridge: 4 },
-        Topology::Lollipop { clique: 10, tail: 8 },
+        Topology::Dumbbell {
+            clique: 10,
+            bridge: 4,
+        },
+        Topology::Lollipop {
+            clique: 10,
+            tail: 8,
+        },
         Topology::Caterpillar { spine: 8, legs: 2 },
         Topology::Gnp { n: 32, p: 0.2 },
         Topology::RandomTree { n: 32 },
@@ -103,11 +109,7 @@ fn loose_parameter_bounds_still_work() {
     // Nodes only know upper bounds; double everything.
     let topo = Topology::Grid2d { rows: 4, cols: 6 };
     let g = topo.build(0).unwrap();
-    let mut cfg = Config::for_network(
-        2 * g.len(),
-        2 * g.diameter().unwrap(),
-        2 * g.max_degree(),
-    );
+    let mut cfg = Config::for_network(2 * g.len(), 2 * g.diameter().unwrap(), 2 * g.max_degree());
     cfg.id_bits = 8; // ids still fit
     let w = Workload::random(24, 30, 1);
     let r = run(&topo, &w, Some(cfg), 1).unwrap();
@@ -130,10 +132,22 @@ fn large_k_multiple_estimate_doublings() {
 
 #[test]
 fn single_node_and_tiny_networks() {
-    assert_delivers(&Topology::Path { n: 1 }, &Workload::single_source(1, 0, 3), 0);
+    assert_delivers(
+        &Topology::Path { n: 1 },
+        &Workload::single_source(1, 0, 3),
+        0,
+    );
     assert_delivers(&Topology::Path { n: 2 }, &Workload::round_robin(2, 4), 1);
-    assert_delivers(&Topology::Path { n: 3 }, &Workload::single_source(3, 2, 2), 2);
-    assert_delivers(&Topology::Complete { n: 3 }, &Workload::round_robin(3, 6), 3);
+    assert_delivers(
+        &Topology::Path { n: 3 },
+        &Workload::single_source(3, 2, 2),
+        2,
+    );
+    assert_delivers(
+        &Topology::Complete { n: 3 },
+        &Workload::round_robin(3, 6),
+        3,
+    );
 }
 
 #[test]
@@ -148,7 +162,11 @@ fn tx_counts_cover_every_stage() {
     assert!(t.data > 0, "stage 3 data flowed");
     assert!(t.ack > 0, "stage 3 acks flowed");
     assert!(t.coded > 0, "stage 4 coded rows flowed");
-    assert_eq!(t.total(), r.stats.transmissions, "counters match the engine");
+    assert_eq!(
+        t.total(),
+        r.stats.transmissions,
+        "counters match the engine"
+    );
     // k < x0 here, so the single collection phase is alarm-free.
     assert_eq!(t.alarm, 0, "no alarms expected for small k");
 }

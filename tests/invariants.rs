@@ -28,7 +28,9 @@ impl Node for Spy {
     fn poll(&mut self, round: u64) -> Option<Msg> {
         let out = self.inner.poll(round);
         if let Some(m) = &out {
-            self.log.borrow_mut().push((round, self.inner.id(), m.clone()));
+            self.log
+                .borrow_mut()
+                .push((round, self.inner.id(), m.clone()));
         }
         out
     }

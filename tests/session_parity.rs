@@ -1,0 +1,240 @@
+//! Pins the session-layer refactor to the legacy semantics: the
+//! trait-driven entry points (`run`, `run_bii`) must produce reports
+//! bit-identical to a hand-rolled engine drive that replicates the
+//! original post-hoc computation (fixed seeds, every report field).
+//! Also covers the `RunOptions` validation and round-cap contracts.
+
+use radio_kbcast::kbcast::baseline::{run_bii, BiiConfig, BiiNode, BiiReport};
+use radio_kbcast::kbcast::runner::{
+    round_cap, run, run_with_options, RunOptions, RunReport, StageRounds, Workload,
+};
+use radio_kbcast::kbcast::{Config, KbcastNode};
+use radio_kbcast::protocols::decay::Decay;
+use radio_kbcast::radio_net::engine::Engine;
+use radio_kbcast::radio_net::error::Error;
+use radio_kbcast::radio_net::graph::NodeId;
+use radio_kbcast::radio_net::rng;
+use radio_kbcast::radio_net::topology::Topology;
+
+/// The pre-refactor `run_on_graph`, verbatim: drive the engine with
+/// `run_until_all_done` and recover success, stages and phases by
+/// post-hoc scans over the final node states.
+fn legacy_coded_run(topology: &Topology, k: usize, seed: u64) -> RunReport {
+    let g = topology.build(seed).unwrap();
+    let n = g.len();
+    let diameter = g.diameter().unwrap_or(0);
+    let max_degree = g.max_degree();
+    let cfg = Config::for_network(n, diameter, max_degree);
+    let w = Workload::random(n, k, seed);
+
+    let per_node: Vec<_> = (0..n).map(|i| w.packets_of(i)).collect();
+    let mut expected: Vec<_> = per_node.iter().flatten().cloned().collect();
+    expected.sort_by_key(|p| p.key);
+
+    let awake: Vec<NodeId> = per_node
+        .iter()
+        .enumerate()
+        .filter(|(_, pkts)| !pkts.is_empty())
+        .map(|(i, _)| NodeId::new(i))
+        .collect();
+    let nodes: Vec<KbcastNode> = per_node
+        .into_iter()
+        .enumerate()
+        .map(|(i, pkts)| KbcastNode::new(cfg, i as u64, pkts, rng::stream(seed, i as u64)))
+        .collect();
+    let mut engine = Engine::new(g, nodes, awake).unwrap();
+    let all_done = engine.run_until_all_done(round_cap(&cfg, k));
+    let rounds_total = engine.round();
+
+    let mut delivered_sum = 0.0f64;
+    let mut success = all_done;
+    for node in engine.nodes() {
+        let mut got = node.packets();
+        got.sort_by_key(|p| p.key);
+        got.dedup();
+        #[allow(clippy::cast_precision_loss)]
+        {
+            delivered_sum += got
+                .iter()
+                .filter(|p| expected.binary_search_by_key(&p.key, |e| e.key).is_ok())
+                .count() as f64
+                / k as f64;
+        }
+        if got != expected {
+            success = false;
+        }
+    }
+
+    let root = engine.nodes().iter().find(|nd| nd.is_root());
+    let (stages, collection_phases) = match root {
+        Some(r) => {
+            let collect = r.collection_finished_at().unwrap_or(0);
+            let s123 = cfg.stage3_start() + collect;
+            (
+                StageRounds {
+                    leader: cfg.stage1_rounds(),
+                    bfs: cfg.stage2_rounds(),
+                    collect,
+                    disseminate: rounds_total.saturating_sub(s123),
+                },
+                r.collection_phase().unwrap_or(0),
+            )
+        }
+        None => (StageRounds::default(), 0),
+    };
+
+    let mut tx_by_type = radio_kbcast::kbcast::node::TxCounts::default();
+    for node in engine.nodes() {
+        tx_by_type.add(&node.tx_counts());
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    RunReport {
+        n,
+        k,
+        diameter,
+        max_degree,
+        success,
+        rounds_total,
+        stages,
+        collection_phases,
+        delivered_fraction: delivered_sum / n as f64,
+        stats: *engine.stats(),
+        tx_by_type,
+    }
+}
+
+/// The pre-refactor `run_bii_on_graph`, verbatim: `run_until` with the
+/// all-nodes-know-k predicate.
+fn legacy_bii_run(topology: &Topology, k: usize, seed: u64) -> BiiReport {
+    let g = topology.build(seed).unwrap();
+    let n = g.len();
+    let cfg = BiiConfig::for_network(n, g.max_degree());
+    let d = g.diameter().unwrap_or(0);
+    let w = Workload::random(n, k, seed);
+    let per_node: Vec<_> = (0..n).map(|i| w.packets_of(i)).collect();
+    let awake: Vec<NodeId> = per_node
+        .iter()
+        .enumerate()
+        .filter(|(_, pkts)| !pkts.is_empty())
+        .map(|(i, _)| NodeId::new(i))
+        .collect();
+    let nodes: Vec<BiiNode> = per_node
+        .into_iter()
+        .enumerate()
+        .map(|(i, pkts)| BiiNode::new(cfg, pkts, rng::stream(seed, i as u64)))
+        .collect();
+    let mut engine = Engine::new(g, nodes, awake).unwrap();
+    let epoch = Decay::new(cfg.delta_bound).epoch_len() as u64;
+    let cap = 8 * ((k as u64 + d as u64 + 2) * cfg.epochs_per_packet as u64 * epoch) + 64;
+    let success = engine.run_until(cap, |e| e.nodes().iter().all(|nd| nd.known_count() == k));
+    BiiReport {
+        n,
+        k,
+        success,
+        rounds_total: engine.round(),
+        stats: *engine.stats(),
+    }
+}
+
+#[test]
+fn coded_report_matches_legacy_engine_drive() {
+    let topo = Topology::Gnp { n: 24, p: 0.25 };
+    for seed in 0..3 {
+        let new = run(&topo, &Workload::random(24, 12, seed), None, seed).unwrap();
+        let old = legacy_coded_run(&topo, 12, seed);
+        assert_eq!(new.success, old.success, "seed {seed}");
+        assert_eq!(new.rounds_total, old.rounds_total, "seed {seed}");
+        assert_eq!(new.stats, old.stats, "seed {seed}");
+        assert_eq!(new.stages, old.stages, "seed {seed}");
+        assert_eq!(new.collection_phases, old.collection_phases, "seed {seed}");
+        assert_eq!(new.tx_by_type, old.tx_by_type, "seed {seed}");
+        assert_eq!(
+            new.delivered_fraction.to_bits(),
+            old.delivered_fraction.to_bits(),
+            "seed {seed}"
+        );
+        assert_eq!((new.n, new.k), (old.n, old.k), "seed {seed}");
+        assert_eq!(
+            (new.diameter, new.max_degree),
+            (old.diameter, old.max_degree),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn bii_report_matches_legacy_engine_drive() {
+    let topo = Topology::Grid2d { rows: 4, cols: 5 };
+    for seed in 0..3 {
+        let new = run_bii(&topo, &Workload::random(20, 10, seed), None, seed).unwrap();
+        let old = legacy_bii_run(&topo, 10, seed);
+        assert_eq!(new.success, old.success, "seed {seed}");
+        assert_eq!(new.rounds_total, old.rounds_total, "seed {seed}");
+        assert_eq!(new.stats, old.stats, "seed {seed}");
+        assert_eq!((new.n, new.k), (old.n, old.k), "seed {seed}");
+    }
+}
+
+#[test]
+fn lossy_run_succeeds_on_small_grid() {
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    let w = Workload::random(16, 8, 0);
+    let opts = RunOptions {
+        loss_rate: 0.05,
+        max_rounds: None,
+    };
+    let r = run_with_options(&topo, &w, None, 0, opts).unwrap();
+    assert!(r.success, "5% loss must be absorbed on a 4x4 grid");
+    assert!((r.delivered_fraction - 1.0).abs() < 1e-12);
+    assert!(
+        r.stats.dropped > 0,
+        "loss injection must actually drop receptions"
+    );
+}
+
+#[test]
+fn invalid_loss_rate_is_rejected_up_front() {
+    let topo = Topology::Path { n: 4 };
+    let w = Workload::random(4, 2, 0);
+    for bad in [-0.1, 1.0, 1.5, f64::NAN] {
+        let opts = RunOptions {
+            loss_rate: bad,
+            max_rounds: None,
+        };
+        let err = run_with_options(&topo, &w, None, 0, opts).unwrap_err();
+        assert!(
+            matches!(err, Error::InvalidParameter { .. }),
+            "loss_rate {bad} must be rejected as InvalidParameter, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn zero_round_cap_is_rejected_up_front() {
+    let topo = Topology::Path { n: 4 };
+    let w = Workload::random(4, 2, 0);
+    let opts = RunOptions {
+        loss_rate: 0.0,
+        max_rounds: Some(0),
+    };
+    let err = run_with_options(&topo, &w, None, 0, opts).unwrap_err();
+    assert!(matches!(err, Error::InvalidParameter { .. }));
+}
+
+#[test]
+fn round_cap_reports_truthful_failure() {
+    let topo = Topology::Gnp { n: 24, p: 0.25 };
+    let w = Workload::random(24, 12, 0);
+    let opts = RunOptions {
+        loss_rate: 0.0,
+        max_rounds: Some(10),
+    };
+    let r = run_with_options(&topo, &w, None, 0, opts).unwrap();
+    assert!(!r.success, "10 rounds cannot complete leader election");
+    assert_eq!(r.rounds_total, 10);
+    // Truthful partial delivery: this early nothing is decoded, and the
+    // report must say so rather than claim completion.
+    assert!(r.delivered_fraction < 1.0);
+    assert!(r.delivered_fraction >= 0.0);
+}
