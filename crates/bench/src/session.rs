@@ -7,7 +7,11 @@
 //! returned [`SessionReport`]s.
 
 use kbcast::runner::{RunOptions, Workload};
-use kbcast::session::{run_protocol_on_graph, BroadcastProtocol, NetParams, SessionReport};
+use kbcast::session::{
+    run_protocol_on_graph, run_protocol_on_graph_with_faults, BroadcastProtocol, NetParams,
+    SessionReport,
+};
+use radio_net::faults::FaultSpec;
 use radio_net::topology::Topology;
 
 use crate::parallel::par_map_indexed;
@@ -50,6 +54,10 @@ pub struct SweepSpec<'a> {
     pub workload: WorkloadSpec,
     /// Harness knobs (noise injection, round-cap override).
     pub options: RunOptions,
+    /// Fault injection (`None` = the clean, statically fault-free
+    /// engine). Each seed builds its own model from this spec with that
+    /// seed, so faulted sweeps are as reproducible as clean ones.
+    pub faults: Option<&'a FaultSpec>,
 }
 
 impl<'a> SweepSpec<'a> {
@@ -63,6 +71,7 @@ impl<'a> SweepSpec<'a> {
             seeds,
             workload: WorkloadSpec::Random,
             options: RunOptions::default(),
+            faults: None,
         }
     }
 }
@@ -98,7 +107,24 @@ where
         let seed = i as u64;
         let graph = spec.topology.build(seed).expect("topology builds");
         let workload = spec.workload.build(n, spec.k, seed);
-        run_protocol_on_graph(protocol, graph, &workload, seed, spec.options).expect("session runs")
+        match spec.faults {
+            None => run_protocol_on_graph(protocol, graph, &workload, seed, spec.options)
+                .expect("session runs"),
+            Some(fspec) => {
+                let faults = fspec
+                    .build(graph.len(), seed)
+                    .expect("fault spec validated by caller");
+                run_protocol_on_graph_with_faults(
+                    protocol,
+                    graph,
+                    &workload,
+                    seed,
+                    spec.options,
+                    faults,
+                )
+                .expect("session runs")
+            }
+        }
     })
 }
 

@@ -1,0 +1,64 @@
+//! Faulted sweeps must be bit-identical regardless of worker-thread
+//! count: `par_map_indexed_with` collects in index order and every
+//! per-seed session is self-contained (its own graph, workload and
+//! fault-model RNG streams), so a 1-thread and a 4-thread fan-out of
+//! the same faulted sweep body must agree on every report field.
+
+use kbcast::runner::{CodedProtocol, KbcastMeta, RunOptions, Workload};
+use kbcast::session::{run_protocol_on_graph_with_faults, SessionReport};
+use kbcast_bench::parallel::par_map_indexed_with;
+use kbcast_bench::session::{sweep_protocol, SweepSpec};
+use radio_net::faults::FaultSpec;
+use radio_net::topology::Topology;
+
+fn faulted_seed_run(fault: &FaultSpec, seed: u64) -> SessionReport<KbcastMeta> {
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    let graph = topo.build(seed).expect("topology builds");
+    let workload = Workload::random(graph.len(), 4, seed);
+    let faults = fault.build(graph.len(), seed).expect("spec builds");
+    run_protocol_on_graph_with_faults(
+        &CodedProtocol::default(),
+        graph,
+        &workload,
+        seed,
+        RunOptions::default(),
+        faults,
+    )
+    .expect("session runs")
+}
+
+#[test]
+fn faulted_sweep_is_thread_count_invariant() {
+    let fault: FaultSpec = "uniform:rate=0.05+crash:frac=0.2,from=0,until=500"
+        .parse()
+        .expect("spec parses");
+    let serial = par_map_indexed_with(1, 6, |i| faulted_seed_run(&fault, i as u64));
+    let fanned = par_map_indexed_with(4, 6, |i| faulted_seed_run(&fault, i as u64));
+    for (seed, (a, b)) in serial.iter().zip(&fanned).enumerate() {
+        assert_eq!(a.success, b.success, "seed {seed}: success");
+        assert_eq!(a.rounds_total, b.rounds_total, "seed {seed}: rounds");
+        assert_eq!(
+            a.delivered_fraction.to_bits(),
+            b.delivered_fraction.to_bits(),
+            "seed {seed}: delivered_fraction"
+        );
+        assert_eq!(a.stats, b.stats, "seed {seed}: stats");
+        assert_eq!(a.meta, b.meta, "seed {seed}: meta");
+    }
+}
+
+#[test]
+fn sweep_spec_faults_matches_hand_rolled_sessions() {
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    let fault: FaultSpec = "jam:budget=30".parse().expect("spec parses");
+    let mut spec = SweepSpec::new(&topo, 4, 3);
+    spec.faults = Some(&fault);
+    let swept = sweep_protocol(&CodedProtocol::default(), &spec);
+    for (seed, r) in swept.iter().enumerate() {
+        let solo = faulted_seed_run(&fault, seed as u64);
+        assert_eq!(r.success, solo.success);
+        assert_eq!(r.rounds_total, solo.rounds_total);
+        assert_eq!(r.stats, solo.stats);
+        assert_eq!(r.meta, solo.meta);
+    }
+}

@@ -48,6 +48,16 @@ pub struct Config {
     /// Spacing (in phases) between consecutive dissemination groups; 3
     /// keeps concurrently active rings non-adjacent (paper §2.4).
     pub group_spacing: u64,
+    /// Bounded-retry cap on Stage 3 collection phases: a node stops
+    /// *initiating* alarms (though it still relays others') once this
+    /// many phases have elapsed, so a network where alarms can never
+    /// reach the root — every reception faulted away, the root crashed —
+    /// degrades to a truthful failed run instead of doubling the
+    /// `k`-estimate forever until the phase schedule overflows. The
+    /// default (40) is astronomically beyond any clean run (the estimate
+    /// doubles per phase, so ~2^40 packets) and is unreachable without
+    /// fault injection.
+    pub max_collect_phases: u32,
 }
 
 impl Config {
@@ -67,6 +77,7 @@ impl Config {
             group_size_override: None,
             ack_spacing: 3,
             group_spacing: 3,
+            max_collect_phases: 40,
         }
     }
 

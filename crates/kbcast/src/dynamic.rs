@@ -606,9 +606,9 @@ impl BroadcastProtocol for DynamicProtocol<'_> {
         node.delivered().iter().map(|p| p.key).collect()
     }
 
-    fn drive(
+    fn drive<F: radio_net::faults::FaultModel>(
         &self,
-        engine: &mut Engine<DynamicNode>,
+        engine: &mut Engine<DynamicNode, F>,
         cap: u64,
         obs: &mut NoopObserver,
     ) -> SessionEnd {

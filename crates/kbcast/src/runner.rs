@@ -129,6 +129,30 @@ pub struct StageRounds {
     pub disseminate: u64,
 }
 
+/// Receptions lost to injected faults (dropped + jammed + crashed +
+/// wake-up-suppressed), attributed to the protocol stage in whose
+/// rounds they occurred — the per-stage blowup under adversity is only
+/// meaningful next to where the faults actually landed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageFaults {
+    /// Lost during Stage 1 (leader election).
+    pub leader: u64,
+    /// Lost during Stage 2 (BFS).
+    pub bfs: u64,
+    /// Lost during Stage 3 (collection).
+    pub collect: u64,
+    /// Lost during Stage 4 (dissemination).
+    pub disseminate: u64,
+}
+
+impl StageFaults {
+    /// Total fault-lost receptions across all stages.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.leader + self.bfs + self.collect + self.disseminate
+    }
+}
+
 /// Result of one end-to-end run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -187,10 +211,16 @@ impl RunOptions {
     /// # Errors
     ///
     /// Returns [`radio_net::error::Error::InvalidParameter`] for a
-    /// `loss_rate` outside `[0, 1)` or `max_rounds == Some(0)` (a
-    /// zero-round run can never deliver anything; use `None` for the
-    /// default cap).
+    /// NaN `loss_rate` or one outside `[0, 1)`, or for
+    /// `max_rounds == Some(0)` (a zero-round run can never deliver
+    /// anything; use `None` for the default cap). Every rejection names
+    /// the offending value.
     pub fn validate(&self) -> Result<(), radio_net::error::Error> {
+        if self.loss_rate.is_nan() {
+            return Err(radio_net::error::Error::InvalidParameter {
+                reason: format!("loss_rate {} is NaN; must be in [0, 1)", self.loss_rate),
+            });
+        }
         if !(0.0..1.0).contains(&self.loss_rate) {
             return Err(radio_net::error::Error::InvalidParameter {
                 reason: format!("loss_rate {} must be in [0, 1)", self.loss_rate),
@@ -365,6 +395,7 @@ pub struct StageObserver {
     scanned: bool,
     collect_end: Option<u64>,
     phases: u32,
+    stage_faults: StageFaults,
 }
 
 impl Observer<KbcastNode> for StageObserver {
@@ -384,6 +415,25 @@ impl Observer<KbcastNode> for StageObserver {
                 self.phases = p;
             }
         }
+        // Attribute this round's fault-lost receptions to the stage the
+        // round belongs to (collection counts until the root's
+        // collection actually finished, which is known by that round).
+        let lost = events.faults.lost_receptions() as u64;
+        if lost > 0 {
+            let s = &mut self.stage_faults;
+            if events.round < self.cfg.stage1_rounds() {
+                s.leader += lost;
+            } else if events.round < self.cfg.stage3_start() {
+                s.bfs += lost;
+            } else if match self.collect_end {
+                None => true,
+                Some(c) => events.round < self.cfg.stage3_start() + c,
+            } {
+                s.collect += lost;
+            } else {
+                s.disseminate += lost;
+            }
+        }
     }
 }
 
@@ -396,6 +446,9 @@ pub struct KbcastMeta {
     pub collection_phases: u32,
     /// Transmissions by message type, summed over all nodes.
     pub tx_by_type: TxCounts,
+    /// Fault-lost receptions attributed to the stage they landed in
+    /// (all zero in the clean model).
+    pub stage_faults: StageFaults,
 }
 
 impl BroadcastProtocol for CodedProtocol {
@@ -442,6 +495,7 @@ impl BroadcastProtocol for CodedProtocol {
             scanned: false,
             collect_end: None,
             phases: 0,
+            stage_faults: StageFaults::default(),
         }
     }
 
@@ -477,6 +531,7 @@ impl BroadcastProtocol for CodedProtocol {
             stages,
             collection_phases,
             tx_by_type,
+            stage_faults: obs.stage_faults,
         }
     }
 }
@@ -506,6 +561,24 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn single_source_validates() {
         let _ = Workload::single_source(3, 3, 1);
+    }
+
+    #[test]
+    fn validate_reports_the_offending_loss_rate() {
+        let mut opts = RunOptions::default();
+        opts.loss_rate = f64::NAN;
+        let err = opts.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("NaN"),
+            "NaN must be called out: {err}"
+        );
+
+        opts.loss_rate = 1.5;
+        let err = opts.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("1.5"),
+            "offending value must appear in the message: {err}"
+        );
     }
 
     #[test]

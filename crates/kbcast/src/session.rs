@@ -27,6 +27,7 @@
 
 use radio_net::engine::{Engine, Node};
 use radio_net::error::Error;
+use radio_net::faults::{FaultModel, NoFaults};
 use radio_net::graph::{Graph, NodeId};
 use radio_net::session::{Observer, SessionEnd};
 use radio_net::stats::SimStats;
@@ -107,7 +108,15 @@ pub trait BroadcastProtocol {
     /// [`Engine::run_session`] until every node reports
     /// [`Node::is_done`]; protocols with external events (dynamic
     /// arrivals) override this with a custom control hook.
-    fn drive(&self, engine: &mut Engine<Self::Node>, cap: u64, obs: &mut Self::Obs) -> SessionEnd {
+    ///
+    /// Generic over the engine's fault model so the same drive serves
+    /// clean ([`NoFaults`]) and fault-injected sessions.
+    fn drive<F: FaultModel>(
+        &self,
+        engine: &mut Engine<Self::Node, F>,
+        cap: u64,
+        obs: &mut Self::Obs,
+    ) -> SessionEnd {
         engine.run_session(cap, obs)
     }
 
@@ -196,6 +205,34 @@ pub fn run_protocol_on_graph<P: BroadcastProtocol>(
     seed: u64,
     options: RunOptions,
 ) -> Result<SessionReport<P::Meta>, Error> {
+    run_protocol_on_graph_with_faults(protocol, graph, workload, seed, options, NoFaults)
+}
+
+/// [`run_protocol_on_graph`] with an injected fault model (see
+/// [`radio_net::faults`]): the engine is driven with `faults` hooked
+/// into every round, while everything else — validation, delivery
+/// verification, reporting — is identical. With [`NoFaults`] this *is*
+/// `run_protocol_on_graph`, bit for bit.
+///
+/// Runtime-configured experiments typically parse a
+/// [`radio_net::faults::FaultSpec`] and pass the
+/// [`radio_net::faults::BuiltFaults`] it builds.
+///
+/// # Errors
+///
+/// As [`run_protocol_on_graph`].
+///
+/// # Panics
+///
+/// Panics if the workload's node count differs from the graph's.
+pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
+    protocol: &P,
+    graph: Graph,
+    workload: &Workload,
+    seed: u64,
+    options: RunOptions,
+    faults: F,
+) -> Result<SessionReport<P::Meta>, Error> {
     options.validate()?;
     let n = graph.len();
     assert_eq!(
@@ -229,7 +266,7 @@ pub fn run_protocol_on_graph<P: BroadcastProtocol>(
 
     let (nodes, awake) = protocol.build(&net, workload, seed);
     let mut obs = protocol.observer(&net);
-    let mut engine = Engine::new(graph, nodes, awake)?;
+    let mut engine = Engine::with_faults(graph, nodes, awake, faults)?;
     if options.loss_rate > 0.0 {
         engine.set_loss(options.loss_rate, seed)?;
     }

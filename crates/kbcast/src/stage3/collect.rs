@@ -308,7 +308,13 @@ impl CollectState {
 
     fn poll_alarm(&mut self, al: u64, rng: &mut impl Rng) -> Option<Msg> {
         if self.alarm_armed != Some(self.phase) {
-            let initiator = self.has_unacked();
+            // Bounded retries: past `max_collect_phases` a node stops
+            // initiating alarms (it still relays heard ones), so a
+            // channel faulted into permanent silence ends the stage as
+            // a truthful failure instead of doubling the estimate until
+            // the phase schedule overflows. Unreachable in clean runs —
+            // the estimate grows 2^phase-fold. See `Config`.
+            let initiator = self.has_unacked() && self.phase < self.cfg.max_collect_phases;
             self.alarm.reset(initiator);
             self.heard_alarm = initiator;
             self.alarm_armed = Some(self.phase);
@@ -514,6 +520,53 @@ mod tests {
         let (ok, got, _, phases) = run_collection(&Topology::Path { n }, 0, &packets, 1);
         assert!(ok, "got {} of {}", got.len(), k);
         assert!(phases >= 1, "expected at least one doubling, got {phases}");
+    }
+
+    #[test]
+    fn silenced_channel_fails_truthfully_at_the_retry_cap() {
+        // A channel that delivers nothing, ever: alarms can never reach
+        // the root, so an uncapped node would double its estimate each
+        // phase forever. `max_collect_phases` must instead stop alarm
+        // initiation, after which the silent armed phase ends the stage
+        // as a truthful failure.
+        struct DropAll;
+        impl radio_net::faults::FaultModel for DropAll {
+            fn drop_delivery(&mut self, _round: u64, _from: usize, _to: usize) -> bool {
+                true
+            }
+        }
+
+        let n = 4;
+        let g = Topology::Path { n }.build(0).unwrap();
+        let mut cfg = Config::for_network(n, g.diameter().unwrap(), g.max_degree());
+        cfg.max_collect_phases = 3;
+        let nodes: Vec<CollectNode> = (0..n)
+            .map(|i| {
+                let packets = if i == n - 1 {
+                    vec![Packet::new(i as u64, 0, vec![7])]
+                } else {
+                    Vec::new()
+                };
+                CollectNode {
+                    st: CollectState::new(cfg, i as u64, i == 0, Some(0), packets, 0),
+                    rng: rng::stream(0, i as u64),
+                }
+            })
+            .collect();
+        let mut e = Engine::with_faults(g, nodes, (0..n).map(NodeId::new), DropAll).unwrap();
+        let cap = 80 * schedule::phase_rounds(cfg.initial_estimate(), &cfg);
+        assert!(
+            e.run_until_all_done(cap),
+            "every node must terminate despite total silence"
+        );
+        let stuck = &e.node(NodeId::new(n - 1)).st;
+        assert!(stuck.has_unacked(), "the packet was never collected");
+        assert_eq!(
+            stuck.phase(),
+            cfg.max_collect_phases,
+            "alarm initiation must stop exactly at the cap"
+        );
+        assert!(e.node(NodeId::new(0)).st.collected().is_empty());
     }
 
     #[test]

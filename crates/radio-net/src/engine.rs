@@ -6,10 +6,8 @@
 //! a protocol node sees exactly `(its own state, the round number, its own
 //! receptions)` and nothing else.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-
 use crate::error::Error;
+use crate::faults::{ChannelView, FaultEvents, FaultModel, NoFaults, UniformLoss};
 use crate::graph::{Graph, NodeId};
 use crate::message::MessageSize;
 use crate::session::{NoopObserver, Observer, RoundEvents, SessionControl, SessionEnd};
@@ -51,8 +49,14 @@ pub trait Node {
 /// Synchronous radio-network simulator.
 ///
 /// See the [crate-level documentation](crate) for the model and an example.
+///
+/// The second type parameter is the fault model (see [`crate::faults`]).
+/// It defaults to [`NoFaults`], whose `ENABLED = false` constant compiles
+/// every fault hook out of the hot loop — an `Engine<N>` is exactly the
+/// clean-channel engine. Construct faulted engines with
+/// [`Engine::with_faults`].
 #[derive(Debug)]
-pub struct Engine<N: Node> {
+pub struct Engine<N: Node, F: FaultModel = NoFaults> {
     graph: Graph,
     nodes: Vec<N>,
     awake: Vec<bool>,
@@ -82,16 +86,28 @@ pub struct Engine<N: Node> {
     /// the harness may have changed their `is_done`, so their cached flag
     /// is refreshed before it is next consulted.
     dirty: Vec<u32>,
-    /// Injected channel noise: each successful reception is independently
-    /// dropped with this probability (fault-injection experiments; the
-    /// paper's model is the clean `None`).
-    loss: Option<(f64, SmallRng)>,
+    /// Legacy injected channel noise ([`Engine::set_loss`]): a
+    /// [`UniformLoss`] applied in addition to — and after — the fault
+    /// model's own `drop_delivery`. `None` in the paper's clean model.
+    loss: Option<UniformLoss>,
+    /// The fault model driving this engine's adversity (a ZST for the
+    /// default [`NoFaults`]).
+    faults: F,
+    /// Scratch: round number at which each node was last jammed; a node
+    /// is jammed this round iff `jam_stamp[v] == round`.
+    jam_stamp: Vec<u64>,
+    /// Scratch list the fault model's jam hook fills each round.
+    jam_list: Vec<u32>,
 }
 
 impl<N: Node> Engine<N> {
     /// Creates an engine over `graph` with one state machine per node.
     /// `initially_awake` nodes are polled from round 0; all others sleep
     /// until their first reception.
+    ///
+    /// The resulting engine has no fault model ([`NoFaults`]) and
+    /// monomorphizes to the clean-channel hot loop; use
+    /// [`Engine::with_faults`] to inject faults.
     ///
     /// # Errors
     ///
@@ -101,6 +117,24 @@ impl<N: Node> Engine<N> {
         graph: Graph,
         nodes: Vec<N>,
         initially_awake: impl IntoIterator<Item = NodeId>,
+    ) -> Result<Self, Error> {
+        Self::with_faults(graph, nodes, initially_awake, NoFaults)
+    }
+}
+
+impl<N: Node, F: FaultModel> Engine<N, F> {
+    /// Creates an engine like [`Engine::new`] but driven by the given
+    /// fault model (see [`crate::faults`] for the hook semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeCountMismatch`] if `nodes.len() != graph.len()`
+    /// and [`Error::NodeOutOfRange`] if an initially-awake id is invalid.
+    pub fn with_faults(
+        graph: Graph,
+        nodes: Vec<N>,
+        initially_awake: impl IntoIterator<Item = NodeId>,
+        faults: F,
     ) -> Result<Self, Error> {
         if nodes.len() != graph.len() {
             return Err(Error::NodeCountMismatch {
@@ -142,6 +176,9 @@ impl<N: Node> Engine<N> {
             done_count,
             dirty: Vec::new(),
             loss: None,
+            faults,
+            jam_stamp: vec![u64::MAX; n],
+            jam_list: Vec::new(),
         })
     }
 
@@ -178,21 +215,31 @@ impl<N: Node> Engine<N> {
     /// stream seeded by `seed`). Models fading/interference beyond the
     /// collision semantics; the paper's model corresponds to no loss.
     ///
+    /// This is a legacy shim kept for `RunOptions { loss_rate }`-style
+    /// callers: it stores a [`UniformLoss`] (same salt, same draw order
+    /// as the original hard-coded path, so fixed-seed runs stay
+    /// bit-identical) applied *after* the engine's fault model. New code
+    /// should pass a [`UniformLoss`] to [`Engine::with_faults`] instead —
+    /// with the same `seed` the two are bit-identical.
+    ///
     /// # Errors
     ///
-    /// Rejects rates outside `[0, 1)`.
+    /// Rejects NaN and rates outside `[0, 1)`.
     pub fn set_loss(&mut self, rate: f64, seed: u64) -> Result<(), Error> {
-        if !(0.0..1.0).contains(&rate) {
-            return Err(Error::InvalidParameter {
-                reason: format!("loss rate {rate} must be in [0, 1)"),
-            });
-        }
-        self.loss = if rate == 0.0 {
+        let model = UniformLoss::new(rate, seed)?;
+        self.loss = if model.rate() == 0.0 {
             None
         } else {
-            Some((rate, crate::rng::stream(seed, 0xC4A5_0FF5)))
+            Some(model)
         };
         Ok(())
+    }
+
+    /// The engine's fault model (harness-side inspection, e.g. a
+    /// jammer's remaining budget).
+    #[must_use]
+    pub fn faults(&self) -> &F {
+        &self.faults
     }
 
     /// Executes one synchronous round and returns its outcome.
@@ -209,6 +256,10 @@ impl<N: Node> Engine<N> {
             round,
             ..RoundOutcome::default()
         };
+        let mut fev = FaultEvents::default();
+        if F::ENABLED {
+            self.faults.begin_round(round, &mut fev);
+        }
 
         // Clear the previous round's transmissions (only slots that were
         // actually written; idle slots are already `None`).
@@ -219,8 +270,13 @@ impl<N: Node> Engine<N> {
 
         // Phase 1: collect transmissions from awake nodes. `awake_ids`
         // only grows in phase 3, so plain index iteration is safe here.
+        // Crashed nodes are fail-stop: not polled (so they cannot
+        // transmit), state retained for recovery.
         for idx in 0..self.awake_ids.len() {
             let i = self.awake_ids[idx] as usize;
+            if F::ENABLED && self.faults.is_crashed(i) {
+                continue;
+            }
             if let Some(msg) = self.nodes[i].poll(round) {
                 outcome.transmissions += 1;
                 self.stats.transmissions += 1;
@@ -256,6 +312,23 @@ impl<N: Node> Engine<N> {
             }
         }
 
+        // Jam hook: the fault model sees this round's transmitter set and
+        // names the listeners that hear only noise. Marks expire on their
+        // own (the stamp is compared against the current round).
+        if F::ENABLED {
+            let mut jam_list = std::mem::take(&mut self.jam_list);
+            jam_list.clear();
+            let view = ChannelView {
+                graph: &self.graph,
+                transmitters: &self.tx_ids,
+            };
+            self.faults.jam(round, &view, &mut jam_list);
+            for &j in &jam_list {
+                self.jam_stamp[j as usize] = round;
+            }
+            self.jam_list = jam_list;
+        }
+
         // Phase 3: deliver to touched listeners with exactly one
         // transmitting neighbor; transmitters hear nothing (half-duplex);
         // sleeping nodes wake on their first reception. Sorting keeps
@@ -267,10 +340,37 @@ impl<N: Node> Engine<N> {
             if self.tx[v].is_some() {
                 continue;
             }
+            // A crashed listener is deaf (and cannot be woken); a jammed
+            // one hears noise. Neither registers as a collision — to the
+            // node both are indistinguishable from silence anyway.
+            if F::ENABLED && self.faults.is_crashed(v) {
+                if self.heard[v] == 1 {
+                    fev.crashed_rx += 1;
+                }
+                continue;
+            }
+            if F::ENABLED && self.jam_stamp[v] == round {
+                fev.jammed += 1;
+                continue;
+            }
             if self.heard[v] == 1 {
-                if let Some((rate, rng)) = &mut self.loss {
-                    if rng.gen_bool(*rate) {
+                // Fault-model loss first, then the legacy `set_loss`
+                // noise. Both streams advance at the same sequence points
+                // as the pre-subsystem engine (ascending listener order),
+                // keeping fixed-seed runs bit-identical.
+                if F::ENABLED
+                    && self
+                        .faults
+                        .drop_delivery(round, self.last_tx[v] as usize, v)
+                {
+                    self.stats.dropped += 1;
+                    fev.dropped += 1;
+                    continue;
+                }
+                if let Some(loss) = &mut self.loss {
+                    if loss.sample() {
                         self.stats.dropped += 1;
+                        fev.dropped += 1;
                         continue;
                     }
                 }
@@ -278,6 +378,10 @@ impl<N: Node> Engine<N> {
                 // `tx[t]` is Some by construction of `last_tx`.
                 let msg = self.tx[t].as_ref().expect("recorded transmitter sent");
                 if !self.awake[v] {
+                    if F::ENABLED && self.faults.corrupt_wakeup(round, v) {
+                        fev.wakeups_suppressed += 1;
+                        continue;
+                    }
                     self.awake[v] = true;
                     self.awake_ids.push(self.touched[idx]);
                     self.stats.wakeups += 1;
@@ -294,6 +398,15 @@ impl<N: Node> Engine<N> {
             }
         }
         self.touched.clear();
+
+        if F::ENABLED {
+            self.stats.jammed += fev.jammed as u64;
+            self.stats.crashed_rx += fev.crashed_rx as u64;
+            self.stats.wakeups_suppressed += fev.wakeups_suppressed as u64;
+            self.stats.crash_events += fev.crashes as u64;
+            self.stats.recover_events += fev.recoveries as u64;
+        }
+        outcome.faults = fev;
 
         self.round += 1;
         self.stats.rounds += 1;
@@ -343,6 +456,7 @@ impl<N: Node> Engine<N> {
             collisions: out.collisions,
             wakeups: usize::try_from(self.stats.wakeups - wakeups_before)
                 .expect("per-round wakeups fit usize"),
+            faults: out.faults,
         };
         obs.on_round(&events, &self.nodes);
         out
@@ -779,6 +893,179 @@ mod tests {
         let end = e.run_session_with(100, &mut NoopObserver, |_| SessionControl::Stop);
         assert!(end.completed);
         assert_eq!(end.rounds, 0);
+    }
+
+    #[test]
+    fn uniform_loss_fault_matches_set_loss_exactly() {
+        // The fault-model path and the legacy shim draw from the same
+        // salted stream at the same sequence points: identical drops.
+        let run_legacy = |seed| -> Vec<(u64, u32)> {
+            let g = topology::path(2).unwrap();
+            let nodes = vec![
+                Scripted::new((0..200).map(|_| Some(7)).collect()),
+                Scripted::silent(),
+            ];
+            let mut e = Engine::new(g, nodes, all_awake(2)).unwrap();
+            e.set_loss(0.5, seed).unwrap();
+            e.run(200);
+            e.node(NodeId::new(1)).received.clone()
+        };
+        let run_fault = |seed| -> Vec<(u64, u32)> {
+            let g = topology::path(2).unwrap();
+            let nodes = vec![
+                Scripted::new((0..200).map(|_| Some(7)).collect()),
+                Scripted::silent(),
+            ];
+            let faults = UniformLoss::new(0.5, seed).unwrap();
+            let mut e = Engine::with_faults(g, nodes, all_awake(2), faults).unwrap();
+            e.run(200);
+            e.node(NodeId::new(1)).received.clone()
+        };
+        assert_eq!(run_legacy(9), run_fault(9));
+        assert_ne!(run_legacy(9), run_fault(10));
+    }
+
+    #[test]
+    fn with_no_faults_is_bit_identical_to_new() {
+        let build = || {
+            let g = topology::star(6).unwrap();
+            let nodes = (0..6)
+                .map(|i| Scripted::new((0..20).map(|r| (r % 3 == i % 3).then_some(i)).collect()))
+                .collect::<Vec<_>>();
+            (g, nodes)
+        };
+        let (g, nodes) = build();
+        let mut a = Engine::new(g, nodes, [NodeId::new(0), NodeId::new(1)]).unwrap();
+        let (g, nodes) = build();
+        let mut b =
+            Engine::with_faults(g, nodes, [NodeId::new(0), NodeId::new(1)], NoFaults).unwrap();
+        for _ in 0..20 {
+            assert_eq!(a.step(), b.step());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn crashed_node_neither_transmits_nor_receives_and_recovers() {
+        // Path 0-1: node 0 transmits every round; crash node 1 for
+        // rounds [2, 5). While crashed it must miss receptions (counted
+        // as crashed_rx) and its state machine must be untouched.
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new((0..8).map(|_| Some(7)).collect()),
+            Scripted::silent(),
+        ];
+        let faults = crate::faults::CrashSchedule::new(2, 1.0, 2, 3, Some(3), 0).unwrap();
+        let mut e = Engine::with_faults(g, nodes, all_awake(2), faults).unwrap();
+        for _ in 0..8 {
+            e.step();
+        }
+        // Node 0 crashed too (fraction 1.0) so rounds 2..5 have no tx at
+        // all; node 1 receives in rounds {0, 1} and {5, 6, 7}.
+        let got: Vec<u64> = e
+            .node(NodeId::new(1))
+            .received
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(got, vec![0, 1, 5, 6, 7]);
+        assert_eq!(e.stats().crash_events, 2);
+        assert_eq!(e.stats().recover_events, 2);
+        assert_eq!(e.stats().transmissions, 5);
+        assert_eq!(e.stats().crashed_rx, 0, "no tx while both were crashed");
+    }
+
+    #[test]
+    fn crashed_listener_counts_crashed_rx() {
+        // Crash only happens when fraction picks node 1: use a star and
+        // check the aggregate instead — node 1 listens, node 0 transmits,
+        // all nodes crashed from round 1 onward, never recovering.
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new((0..4).map(|_| Some(7)).collect()),
+            Scripted::silent(),
+        ];
+        // Only node 1 in the victim set: fraction 0.5 picks 1 of 2 by
+        // seeded shuffle — use the first seed that picks node 1.
+        let seed = (0..64)
+            .find(|&s| {
+                crate::faults::CrashSchedule::new(2, 0.5, 1, 2, None, s)
+                    .unwrap()
+                    .timeline()
+                    == [(1, 1, true)]
+            })
+            .expect("some seed picks node 1");
+        let faults = crate::faults::CrashSchedule::new(2, 0.5, 1, 2, None, seed).unwrap();
+        let mut e = Engine::with_faults(g, nodes, all_awake(2), faults).unwrap();
+        for _ in 0..4 {
+            e.step();
+        }
+        assert_eq!(e.node(NodeId::new(1)).received.len(), 1); // round 0 only
+        assert_eq!(e.stats().crashed_rx, 3);
+        assert_eq!(e.stats().receptions, 1);
+    }
+
+    #[test]
+    fn jammer_silences_the_hot_neighborhood() {
+        // Star: leaf 1 transmits to the center every round; a jammer
+        // with budget 2 kills exactly the first two receptions.
+        let g = topology::star(3).unwrap();
+        let nodes = vec![
+            Scripted::silent(),
+            Scripted::new((0..6).map(|_| Some(1)).collect()),
+            Scripted::silent(),
+        ];
+        let faults = crate::faults::AdversarialJammer::new(2);
+        let mut e = Engine::with_faults(g, nodes, all_awake(3), faults).unwrap();
+        for _ in 0..6 {
+            e.step();
+        }
+        assert_eq!(e.stats().jammed, 2);
+        assert_eq!(e.faults().remaining(), 0);
+        let got: Vec<u64> = e
+            .node(NodeId::new(0))
+            .received
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(got, vec![2, 3, 4, 5], "rounds 0 and 1 jammed");
+    }
+
+    #[test]
+    fn corrupted_wakeup_loses_message_and_keeps_node_asleep() {
+        // Path 0-1-2, only 0 awake; wake-up corruption rate 1 keeps 1
+        // asleep forever (radio wake-ups never succeed).
+        let g = topology::path(3).unwrap();
+        let nodes = vec![
+            Scripted::new((0..5).map(|_| Some(9)).collect()),
+            Scripted::new(vec![None, Some(5)]),
+            Scripted::silent(),
+        ];
+        let faults = crate::faults::WakeupCorrupt::new(1.0, 0).unwrap();
+        let mut e = Engine::with_faults(g, nodes, [NodeId::new(0)], faults).unwrap();
+        for _ in 0..5 {
+            e.step();
+        }
+        assert!(!e.is_awake(NodeId::new(1)));
+        assert!(e.node(NodeId::new(1)).received.is_empty());
+        assert_eq!(e.stats().wakeups_suppressed, 5);
+        assert_eq!(e.stats().wakeups, 0);
+    }
+
+    #[test]
+    fn observer_sees_fault_events() {
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new((0..50).map(|_| Some(7)).collect()),
+            Scripted::silent(),
+        ];
+        let faults = UniformLoss::new(0.5, 3).unwrap();
+        let mut e = Engine::with_faults(g, nodes, all_awake(2), faults).unwrap();
+        let mut rec = Recorder::default();
+        e.run_session(50, &mut rec);
+        let dropped: usize = rec.events.iter().map(|ev| ev.faults.dropped).sum();
+        assert_eq!(dropped as u64, e.stats().dropped);
+        assert!(dropped > 0);
     }
 
     #[test]

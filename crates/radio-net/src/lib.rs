@@ -28,6 +28,11 @@
 //!   [`session::Observer`] hooks see per-round [`session::RoundEvents`]
 //!   plus read-only node state, so reports come from instrumentation
 //!   instead of post-hoc introspection.
+//! * [`faults`] — composable deterministic fault injection
+//!   ([`faults::FaultModel`]): uniform/bursty loss, crash schedules,
+//!   adversarial jamming, wake-up corruption. Zero-cost when disabled —
+//!   the default [`faults::NoFaults`] engine monomorphizes to the clean
+//!   hot loop.
 //! * [`rng`] — deterministic per-node random streams so every simulation is
 //!   reproducible from a single `u64` seed.
 //! * [`stats`] — transmission/reception/collision accounting.
@@ -81,6 +86,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod graph;
 pub mod message;
 pub mod rng;
@@ -91,6 +97,10 @@ pub mod viz;
 
 pub use engine::{Engine, Node};
 pub use error::Error;
+pub use faults::{
+    AdversarialJammer, BuiltFaults, CrashSchedule, FaultEvents, FaultModel, FaultSpec,
+    GilbertElliott, NoFaults, Stacked, UniformLoss, WakeupCorrupt,
+};
 pub use graph::{Graph, NodeId};
 pub use message::MessageSize;
 pub use session::{NoopObserver, Observer, RoundEvents, SessionControl, SessionEnd};

@@ -55,6 +55,18 @@ pub mod salts {
     pub const WORKLOAD: u64 = 0xF00D_0000_0000_0002;
     /// Monte-Carlo analysis experiments.
     pub const ANALYSIS: u64 = 0xF00D_0000_0000_0003;
+    /// Uniform reception-loss sampling ([`crate::faults::UniformLoss`]).
+    /// The value predates the `salts` table (it was hard-coded in the
+    /// engine's original `set_loss` path) and must stay unchanged so
+    /// fixed-seed lossy runs remain bit-identical.
+    pub const LOSS: u64 = 0xC4A5_0FF5;
+    /// Per-edge Gilbert–Elliott channels; XORed with the edge key
+    /// ([`crate::faults::GilbertElliott`]).
+    pub const GILBERT: u64 = 0xF00D_0000_0000_0004;
+    /// Crash/recover timeline generation ([`crate::faults::CrashSchedule`]).
+    pub const CRASH: u64 = 0xF00D_0000_0000_0005;
+    /// Wake-up corruption sampling ([`crate::faults::WakeupCorrupt`]).
+    pub const WAKEUP: u64 = 0xF00D_0000_0000_0006;
 }
 
 #[cfg(test)]

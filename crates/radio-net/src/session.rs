@@ -15,6 +15,7 @@
 //! loop it had before observers existed.
 
 use crate::engine::Node;
+use crate::faults::FaultEvents;
 
 /// Everything that happened on the channel in one executed round.
 ///
@@ -33,6 +34,10 @@ pub struct RoundEvents {
     pub collisions: usize,
     /// Sleeping nodes woken by their first reception this round.
     pub wakeups: usize,
+    /// Fault occurrences this round (all zero under [`crate::faults::NoFaults`]
+    /// with no legacy loss), so observers can attribute slowdowns to
+    /// injected adversity rather than protocol behavior.
+    pub faults: FaultEvents,
 }
 
 /// A harness-side hook invoked by the engine after every round of a

@@ -21,10 +21,22 @@ pub struct SimStats {
     pub bits_transmitted: u64,
     /// Number of wake-up events (sleeping node receiving its first message).
     pub wakeups: u64,
-    /// Receptions dropped by injected channel noise (see
-    /// [`crate::engine::Engine::set_loss`]); 0 in the paper's clean
-    /// model.
+    /// Receptions dropped by injected channel noise — the legacy
+    /// [`crate::engine::Engine::set_loss`] path or a fault model's
+    /// `drop_delivery` hook; 0 in the paper's clean model.
     pub dropped: u64,
+    /// Listener-rounds silenced by jamming (see
+    /// [`crate::faults::FaultModel::jam`]).
+    pub jammed: u64,
+    /// Would-be receptions lost because the listener was crashed.
+    pub crashed_rx: u64,
+    /// First receptions that failed to wake a sleeping node (see
+    /// [`crate::faults::FaultModel::corrupt_wakeup`]).
+    pub wakeups_suppressed: u64,
+    /// Nodes crashed by the fault model's timeline.
+    pub crash_events: u64,
+    /// Nodes recovered by the fault model's timeline.
+    pub recover_events: u64,
 }
 
 impl SimStats {
@@ -58,6 +70,8 @@ pub struct RoundOutcome {
     pub receptions: usize,
     /// Number of listeners that lost a reception to a collision this round.
     pub collisions: usize,
+    /// Fault occurrences this round (all zero in the clean model).
+    pub faults: crate::faults::FaultEvents,
 }
 
 #[cfg(test)]

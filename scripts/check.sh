@@ -14,6 +14,18 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Fault-injection smoke: the quick E17 configuration (grid 16x16, every
+# fault family, 2 seeds) must run to completion and emit its JSON. This
+# exercises the whole fault stack — spec parsing, per-seed model
+# construction, the faulted engine hooks, stage attribution — in a few
+# seconds.
+KB_SCALE=quick KB_E17_OUT=target/E17_faults_smoke.json \
+    cargo run --release -q -p kbcast-bench --bin exp_e17_faults
+[ -s target/E17_faults_smoke.json ] || {
+    echo "check.sh: fault smoke produced no target/E17_faults_smoke.json" >&2
+    exit 1
+}
+
 # Engine-throughput regression gate (KB_SKIP_PERF=1 skips the ~1 min
 # benchmark, e.g. on loaded or throttled machines where wall-clock
 # numbers are meaningless).

@@ -3,6 +3,12 @@
 # (quick scale, scratch output via KB_BENCH_OUT) and fails if the
 # grid64x64/single_source throughput drops more than 20% below the
 # committed baseline in results/BENCH_engine.json.
+#
+# perf_smoke drives Engine<_, NoFaults>, so holding this floor is also
+# the zero-cost proof for the fault subsystem: FaultModel::ENABLED is
+# false for NoFaults and every fault hook in the hot loop is behind
+# `if F::ENABLED`, so a clean engine must monomorphize to the
+# pre-fault-subsystem loop and keep its throughput.
 set -eu
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,236 @@
+//! Determinism contract of the fault-injection subsystem: a
+//! [`FaultSpec`] plus a seed pins the *entire* execution. Two runs with
+//! the same spec and seed must agree on every report field, the faulted
+//! entry point with [`NoFaults`] must be bit-identical to the legacy
+//! entry point, and the `uniform:` fault model must reproduce the
+//! pre-subsystem `RunOptions::loss_rate` path exactly (same RNG salt,
+//! same draw points).
+
+use proptest::prelude::*;
+use radio_kbcast::kbcast::baseline::BiiProtocol;
+use radio_kbcast::kbcast::dynamic::{Arrival, DynamicProtocol};
+use radio_kbcast::kbcast::runner::{CodedProtocol, RunOptions, Workload};
+use radio_kbcast::kbcast::session::{
+    run_protocol_on_graph, run_protocol_on_graph_with_faults, BroadcastProtocol, SessionReport,
+};
+use radio_kbcast::radio_net::faults::{FaultSpec, NoFaults};
+use radio_kbcast::radio_net::topology::Topology;
+
+/// Field-by-field bitwise equality (floats compared by bits — the
+/// contract is reproducibility, not approximation).
+fn assert_reports_identical<M: PartialEq + std::fmt::Debug>(
+    a: &SessionReport<M>,
+    b: &SessionReport<M>,
+    what: &str,
+) {
+    assert_eq!(a.success, b.success, "{what}: success");
+    assert_eq!(a.rounds_total, b.rounds_total, "{what}: rounds_total");
+    assert_eq!(
+        a.delivered_fraction.to_bits(),
+        b.delivered_fraction.to_bits(),
+        "{what}: delivered_fraction"
+    );
+    assert_eq!(a.stats, b.stats, "{what}: stats");
+    assert_eq!(a.meta, b.meta, "{what}: meta");
+}
+
+/// One fault spec from every family, including a stacked one.
+fn spec_zoo() -> Vec<FaultSpec> {
+    [
+        "uniform:rate=0.1",
+        "ge:p_bad=0.02,p_good=0.15,loss_good=0,loss_bad=0.85",
+        "crash:frac=0.3,from=5,until=400,down=300",
+        "jam:budget=50",
+        "wakeup:rate=0.4",
+        "uniform:rate=0.05+jam:budget=20",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("zoo specs parse"))
+    .collect()
+}
+
+fn run_faulted<P>(protocol: &P, fault: &FaultSpec, seed: u64) -> SessionReport<P::Meta>
+where
+    P: BroadcastProtocol,
+{
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    let graph = topo.build(seed).expect("topology builds");
+    let workload = Workload::random(graph.len(), 5, seed);
+    let faults = fault.build(graph.len(), seed).expect("zoo specs build");
+    run_protocol_on_graph_with_faults(
+        protocol,
+        graph,
+        &workload,
+        seed,
+        RunOptions::default(),
+        faults,
+    )
+    .expect("session runs")
+}
+
+#[test]
+fn coded_runs_are_reproducible_for_every_fault_family() {
+    for fault in spec_zoo() {
+        for seed in 0..2 {
+            let a = run_faulted(&CodedProtocol::default(), &fault, seed);
+            let b = run_faulted(&CodedProtocol::default(), &fault, seed);
+            assert_reports_identical(&a, &b, &format!("coded/{fault}/seed{seed}"));
+        }
+    }
+}
+
+#[test]
+fn bii_runs_are_reproducible_for_every_fault_family() {
+    for fault in spec_zoo() {
+        for seed in 0..2 {
+            let a = run_faulted(&BiiProtocol::default(), &fault, seed);
+            let b = run_faulted(&BiiProtocol::default(), &fault, seed);
+            assert_reports_identical(&a, &b, &format!("bii/{fault}/seed{seed}"));
+        }
+    }
+}
+
+#[test]
+fn dynamic_runs_are_reproducible_for_every_fault_family() {
+    let arrivals = vec![
+        Arrival {
+            round: 0,
+            node: 0,
+            payload: vec![1],
+        },
+        Arrival {
+            round: 300,
+            node: 7,
+            payload: vec![2],
+        },
+    ];
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    for fault in spec_zoo() {
+        for seed in 0..2 {
+            let run = || {
+                let graph = topo.build(seed).expect("topology builds");
+                let n = graph.len();
+                let mut initial = vec![Vec::new(); n];
+                initial[0].push(vec![1u8]);
+                let workload = Workload::new(initial);
+                let protocol = DynamicProtocol {
+                    arrivals: &arrivals,
+                    config: None,
+                    horizon: 50_000,
+                };
+                let faults = fault.build(n, seed).expect("zoo specs build");
+                run_protocol_on_graph_with_faults(
+                    &protocol,
+                    graph,
+                    &workload,
+                    seed,
+                    RunOptions::default(),
+                    faults,
+                )
+                .expect("session runs")
+            };
+            assert_reports_identical(&run(), &run(), &format!("dynamic/{fault}/seed{seed}"));
+        }
+    }
+}
+
+/// The `uniform:` model is the `RunOptions::loss_rate` path, relocated:
+/// same salt, same draw points, so the two must agree bit for bit.
+#[test]
+fn uniform_fault_model_reproduces_legacy_loss_rate_option() {
+    let topo = Topology::Gnp { n: 24, p: 0.25 };
+    let fault: FaultSpec = "uniform:rate=0.08".parse().expect("spec parses");
+    for seed in 0..3 {
+        let graph = topo.build(seed).expect("topology builds");
+        let workload = Workload::random(graph.len(), 4, seed);
+
+        let legacy_opts = RunOptions {
+            loss_rate: 0.08,
+            ..Default::default()
+        };
+        let legacy = run_protocol_on_graph(
+            &CodedProtocol::default(),
+            topo.build(seed).expect("topology builds"),
+            &workload,
+            seed,
+            legacy_opts,
+        )
+        .expect("session runs");
+
+        let faults = fault.build(graph.len(), seed).expect("spec builds");
+        let modeled = run_protocol_on_graph_with_faults(
+            &CodedProtocol::default(),
+            graph,
+            &workload,
+            seed,
+            RunOptions::default(),
+            faults,
+        )
+        .expect("session runs");
+
+        assert_reports_identical(
+            &legacy,
+            &modeled,
+            &format!("uniform-vs-loss_rate/seed{seed}"),
+        );
+        assert!(modeled.stats.dropped > 0, "loss actually sampled");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `NoFaults` is the pre-subsystem engine: the faulted entry point
+    /// must be bit-identical to the legacy one for arbitrary topology
+    /// parameters, workloads and (legacy-path) loss rates, and must
+    /// never report a fault occurrence.
+    #[test]
+    fn no_faults_is_bit_identical_to_legacy(
+        seed in 0u64..64,
+        n in 6usize..20,
+        k in 1usize..5,
+        loss_centi in 0u32..20,
+    ) {
+        let topo = Topology::Gnp { n, p: 0.35 };
+        let workload = Workload::random(n, k, seed);
+        let options = RunOptions {
+            loss_rate: f64::from(loss_centi) / 100.0,
+            ..Default::default()
+        };
+
+        let legacy = run_protocol_on_graph(
+            &CodedProtocol::default(),
+            topo.build(seed).expect("topology builds"),
+            &workload,
+            seed,
+            options,
+        )
+        .expect("session runs");
+        let faulted = run_protocol_on_graph_with_faults(
+            &CodedProtocol::default(),
+            topo.build(seed).expect("topology builds"),
+            &workload,
+            seed,
+            options,
+            NoFaults,
+        )
+        .expect("session runs");
+
+        prop_assert_eq!(legacy.success, faulted.success);
+        prop_assert_eq!(legacy.rounds_total, faulted.rounds_total);
+        prop_assert_eq!(
+            legacy.delivered_fraction.to_bits(),
+            faulted.delivered_fraction.to_bits()
+        );
+        prop_assert_eq!(legacy.stats, faulted.stats);
+        prop_assert_eq!(legacy.meta, faulted.meta);
+
+        // A clean engine reports no fault occurrences, ever.
+        prop_assert_eq!(faulted.stats.jammed, 0);
+        prop_assert_eq!(faulted.stats.crashed_rx, 0);
+        prop_assert_eq!(faulted.stats.wakeups_suppressed, 0);
+        prop_assert_eq!(faulted.stats.crash_events, 0);
+        prop_assert_eq!(faulted.stats.recover_events, 0);
+        prop_assert_eq!(faulted.meta.stage_faults.total(), legacy.stats.dropped);
+    }
+}
