@@ -1,22 +1,44 @@
-//! **E13 — "With high probability", empirically: success rate of the
-//! default constants across many seeds.**
+//! **E13 — "With high probability", as an assertion: Clopper–Pearson
+//! check of the `O(k·logΔ + (D + log n)·log n·logΔ)` bound.**
 //!
 //! Every bound in the paper holds w.h.p. for "sufficiently large"
-//! constants; the implementation's defaults (Config::for_network) were
-//! calibrated so that end-to-end runs succeed across seeds and topology
-//! families. This binary measures that success rate — it is the
-//! reliability datum backing every other experiment.
+//! constants. Earlier revisions of this experiment printed a
+//! success-rate table to be eyeballed; this version *checks* the claim
+//! ([`kbcast_bench::whp`]):
+//!
+//! 1. A probe sweep per topology family calibrates the bound's hidden
+//!    constant `C` (maximum observed `rounds / units`, ×1.5 margin).
+//! 2. The main sweep then asserts that every seed both succeeds and
+//!    finishes within `C · units`, and that the exact one-sided
+//!    Clopper–Pearson lower bound on the per-seed success probability
+//!    reaches the target at 95% confidence.
+//!
+//! Any miss prints the offending seeds and exits nonzero — the datum
+//! backing every other experiment is now machine-checked. Set
+//! `KB_VERIFY=1` to additionally run the online model/invariant
+//! checkers inside every session.
 
 use kbcast::runner::CodedProtocol;
-use kbcast_bench::session::{sweep_protocol, SweepSpec};
-use kbcast_bench::table::Table;
-use kbcast_bench::Scale;
+use kbcast_bench::session::{probe, sweep_protocol, SweepSpec};
+use kbcast_bench::whp::{calibrate_c, check_sweep};
+use kbcast_bench::{verify_from_env, Scale};
 use radio_net::topology::Topology;
+
+const CONFIDENCE: f64 = 0.95;
+const MARGIN: f64 = 1.5;
 
 fn main() {
     let scale = Scale::from_env();
-    let seeds = scale.pick(10u64, 50);
-    println!("E13: end-to-end success rate over {seeds} seeds per configuration");
+    let seeds = scale.pick(25u64, 250);
+    let probe_seeds = scale.pick(5u64, 20);
+    let target = scale.pick(0.85, 0.985);
+    let verify = verify_from_env();
+    println!(
+        "E13: w.h.p. bound check — {seeds} seeds per configuration, \
+         target lower bound {target} at {:.0}% confidence{}",
+        CONFIDENCE * 100.0,
+        if verify { ", verify on" } else { "" }
+    );
     println!();
 
     let configs: Vec<(String, Topology, usize)> = vec![
@@ -42,29 +64,53 @@ fn main() {
         ("path(32)".into(), Topology::Path { n: 32 }, 64),
     ];
 
-    let mut t = Table::new(&["topology", "k", "successes", "rate"]);
-    let mut total_ok = 0u64;
-    let mut total = 0u64;
-    for (name, topo, k) in &configs {
-        let reports = sweep_protocol(&CodedProtocol::default(), &SweepSpec::new(topo, *k, seeds));
-        let ok = reports.iter().filter(|r| r.success).count() as u64;
-        total_ok += ok;
-        total += seeds;
-        #[allow(clippy::cast_precision_loss)]
-        t.row(&[
-            name.clone(),
-            k.to_string(),
-            format!("{ok}/{seeds}"),
-            format!("{:.3}", ok as f64 / seeds as f64),
-        ]);
+    // Phase 1: calibrate one global constant across all families — the
+    // paper's constant is universal, so the checker's must be too.
+    let protocol = CodedProtocol::default();
+    let mut probes = Vec::new();
+    let mut probe_reports = Vec::new();
+    for (_, topo, k) in &configs {
+        let mut spec = SweepSpec::new(topo, *k, probe_seeds);
+        spec.options.verify = verify;
+        let net = probe(topo);
+        let reports = sweep_protocol(&protocol, &spec);
+        probe_reports.push((net, *k, reports));
     }
-    t.print();
+    for (net, k, reports) in &probe_reports {
+        for r in reports {
+            probes.push((*net, *k, r));
+        }
+    }
+    let c = calibrate_c(&probes, MARGIN);
+    println!("calibrated constant: C = {c:.2} (margin ×{MARGIN} over {probe_seeds}-seed probes)");
     println!();
-    #[allow(clippy::cast_precision_loss)]
-    {
-        println!(
-            "overall: {total_ok}/{total} = {:.4} (the defaults' empirical 'w.h.p.')",
-            total_ok as f64 / total as f64
-        );
+
+    // Phase 2: assert, per family, failing loudly with the seed.
+    let mut failed = false;
+    for (name, topo, k) in &configs {
+        let mut spec = SweepSpec::new(topo, *k, seeds);
+        spec.options.verify = verify;
+        let net = probe(topo);
+        let reports = sweep_protocol(&protocol, &spec);
+        match check_sweep(&reports, &net, *k, c, CONFIDENCE, target) {
+            Ok(out) => println!(
+                "ok   {name:<14} {}/{} good, lower bound {:.4}, headroom {:.0}%",
+                out.good,
+                out.trials,
+                out.lower_bound,
+                (1.0 - out.worst_ratio) * 100.0
+            ),
+            Err(fail) => {
+                failed = true;
+                println!("FAIL {name:<14}");
+                print!("{fail}");
+            }
+        }
     }
+    println!();
+    if failed {
+        println!("E13: FAILED — rerun the printed seeds to reproduce");
+        std::process::exit(1);
+    }
+    println!("E13: all families within the calibrated bound at {CONFIDENCE:.2} confidence");
 }

@@ -11,7 +11,7 @@
 use kbcast::runner::CodedProtocol;
 use kbcast_bench::session::{sweep_protocol, SweepSpec};
 use kbcast_bench::table::{f1, f3, Table};
-use kbcast_bench::Scale;
+use kbcast_bench::{verify_from_env, Scale};
 use radio_net::topology::Topology;
 
 fn main() {
@@ -29,6 +29,7 @@ fn main() {
     for &loss in &[0.0f64, 0.02, 0.05, 0.10, 0.20, 0.35] {
         let mut spec = SweepSpec::new(&topo, k, seeds);
         spec.options.loss_rate = loss;
+        spec.options.verify = verify_from_env();
         let reports = sweep_protocol(&CodedProtocol::default(), &spec);
         let mut ok = 0;
         let mut rounds = Vec::new();

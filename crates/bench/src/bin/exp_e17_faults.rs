@@ -31,7 +31,7 @@ use kbcast_bench::parallel::par_map_indexed;
 use kbcast_bench::session::{sweep_protocol, SweepSpec};
 use kbcast_bench::stats::median;
 use kbcast_bench::table::{f3, Table};
-use kbcast_bench::Scale;
+use kbcast_bench::{verify_from_env, Scale};
 use radio_net::faults::FaultSpec;
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
@@ -122,15 +122,12 @@ fn sweep_dynamic(
                 horizon: 150_000,
             };
             let faults = fault.build(n, seed).expect("fault spec is valid");
-            run_protocol_on_graph_with_faults(
-                &protocol,
-                graph,
-                &workload,
-                seed,
-                RunOptions::default(),
-                faults,
-            )
-            .expect("session runs")
+            let options = RunOptions {
+                verify: verify_from_env(),
+                ..RunOptions::default()
+            };
+            run_protocol_on_graph_with_faults(&protocol, graph, &workload, seed, options, faults)
+                .expect("session runs")
         },
     )
 }
@@ -187,6 +184,7 @@ fn main() {
         fault.build(16, 0).expect("experiment fault specs validate");
 
         let mut spec = SweepSpec::new(&topo, k, seeds);
+        spec.options.verify = verify_from_env();
         let is_clean = fault.is_none();
         spec.faults = if is_clean { None } else { Some(&fault) };
 

@@ -13,10 +13,11 @@ use kbcast_bench::session::{sweep_protocol, SweepSpec};
 use kbcast_bench::stats::{median, slope};
 use kbcast_bench::sweep::gnp_standard;
 use kbcast_bench::table::Table;
-use kbcast_bench::Scale;
+use kbcast_bench::{verify_from_env, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    let verify = verify_from_env();
     let n = scale.pick(64, 128);
     let seeds = scale.pick(2u64, 3);
     let ks: Vec<usize> = scale.pick(vec![16, 256, 2048], vec![16, 64, 256, 1024, 4096, 8192]);
@@ -35,7 +36,9 @@ fn main() {
     let mut kx = Vec::new();
     let mut ry = Vec::new();
     for &k in &ks {
-        let reports = sweep_protocol(&CodedProtocol::default(), &SweepSpec::new(&topo, k, seeds));
+        let mut spec = SweepSpec::new(&topo, k, seeds);
+        spec.options.verify = verify;
+        let reports = sweep_protocol(&CodedProtocol::default(), &spec);
         let mut rounds = Vec::new();
         let mut phases = Vec::new();
         let mut ok = 0;

@@ -12,6 +12,7 @@ pub mod session;
 pub mod stats;
 pub mod sweep;
 pub mod table;
+pub mod whp;
 
 /// Experiment scale, selected with the `KB_SCALE` environment variable
 /// (`quick` or `full`, default `full`). `quick` keeps every binary under
@@ -42,6 +43,16 @@ impl Scale {
             Scale::Full => full,
         }
     }
+}
+
+/// Reads the `KB_VERIFY` environment variable: `1` turns on the online
+/// model/invariant checkers ([`kbcast::runner::RunOptions::verify`])
+/// for the experiment binaries that support them. Any violation then
+/// aborts the sweep with the offending seed instead of contributing a
+/// silently-wrong data point.
+#[must_use]
+pub fn verify_from_env() -> bool {
+    std::env::var("KB_VERIFY").as_deref() == Ok("1")
 }
 
 #[cfg(test)]

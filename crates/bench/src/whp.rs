@@ -1,0 +1,391 @@
+//! Statistical "with high probability" checker: turns E13's eyeballed
+//! success-rate table into an assertion.
+//!
+//! The paper's headline theorem says the protocol completes within
+//! `O(k·logΔ + (D + log n)·log n·logΔ)` rounds w.h.p. This module
+//! checks that claim empirically, in two steps:
+//!
+//! 1. **Calibrate** — [`calibrate_c`] fits the hidden constant from a
+//!    probe sweep: the maximum observed `rounds / bound_units` ratio
+//!    (times a safety margin supplied by the caller).
+//! 2. **Assert** — [`check_sweep`] sweeps many more seeds, counts a
+//!    seed as good iff the session succeeded *and* finished within
+//!    `C · bound_units`, and computes an exact one-sided
+//!    [Clopper–Pearson](https://en.wikipedia.org/wiki/Binomial_proportion_confidence_interval)
+//!    lower confidence bound on the per-seed success probability. If
+//!    that lower bound misses the target, the check fails loudly with
+//!    the offending seeds ([`WhpFailure`]) instead of printing a table.
+//!
+//! The Clopper–Pearson bound is exact (inverts the binomial tail, no
+//! normal approximation), so it stays honest at the `0/200 failures`
+//! boundary where Wald intervals collapse to `[1, 1]`.
+
+use kbcast::session::{NetParams, SessionReport};
+
+/// Theoretical bound shape of one configuration, in "units": the
+/// bracketed part of `O(k·logΔ + (D + log n)·log n·logΔ)` with every
+/// logarithm floored at 1 (so degenerate topologies — stars, paths of
+/// two — don't zero a term the constant then can't recover).
+#[must_use]
+pub fn bound_units(net: &NetParams, k: usize) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    let log = |x: usize| (x.max(2) as f64).log2().max(1.0);
+    let log_n = log(net.n);
+    let log_delta = log(net.max_degree);
+    #[allow(clippy::cast_precision_loss)]
+    let (k, d) = (k as f64, net.diameter.max(1) as f64);
+    k * log_delta + (d + log_n) * log_n * log_delta
+}
+
+/// Fits the bound's hidden constant from a probe sweep: the maximum
+/// `rounds_total / units` over the successful reports, times `margin`.
+/// Returns 0 if nothing succeeded (which [`check_sweep`] then reports
+/// as every seed failing — a dead protocol never calibrates itself
+/// into a pass).
+#[must_use]
+pub fn calibrate_c<M>(probes: &[(NetParams, usize, &SessionReport<M>)], margin: f64) -> f64 {
+    let mut c = 0.0f64;
+    for (net, k, report) in probes {
+        if !report.success {
+            continue;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = report.rounds_total as f64 / bound_units(net, *k);
+        c = c.max(ratio);
+    }
+    c * margin
+}
+
+/// One seed that broke the bound (or the run outright).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeedFailure {
+    /// The sweep seed (reports are in seed order, so this is the
+    /// report's index).
+    pub seed: u64,
+    /// What went wrong, human-readable.
+    pub reason: String,
+}
+
+/// Aggregate outcome of a w.h.p. check over one sweep.
+#[derive(Clone, Debug)]
+pub struct WhpReport {
+    /// Seeds swept.
+    pub trials: u64,
+    /// Seeds that succeeded within the bound.
+    pub good: u64,
+    /// Exact one-sided lower confidence bound on the per-seed success
+    /// probability.
+    pub lower_bound: f64,
+    /// Confidence level the bound was computed at.
+    pub confidence: f64,
+    /// Largest observed `rounds / (C · units)` ratio among successful
+    /// runs — how much headroom the constant has (1.0 = none).
+    pub worst_ratio: f64,
+}
+
+/// A failed w.h.p. check: the lower confidence bound missed the target.
+/// Carries the offending seeds so the failure is reproducible.
+#[derive(Clone, Debug)]
+pub struct WhpFailure {
+    /// The aggregate numbers at the point of failure.
+    pub report: WhpReport,
+    /// Target the lower bound had to reach.
+    pub target: f64,
+    /// Every seed that failed (session failure or bound violation).
+    pub failures: Vec<SeedFailure>,
+}
+
+impl std::fmt::Display for WhpFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "w.h.p. check failed: {}/{} seeds good, lower bound {:.4} < target {:.4} \
+             at {:.0}% confidence",
+            self.report.good,
+            self.report.trials,
+            self.report.lower_bound,
+            self.target,
+            self.report.confidence * 100.0
+        )?;
+        for fail in self.failures.iter().take(8) {
+            writeln!(f, "  seed {}: {}", fail.seed, fail.reason)?;
+        }
+        if self.failures.len() > 8 {
+            writeln!(f, "  ... and {} more", self.failures.len() - 8)?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks one sweep's reports (in seed order) against the calibrated
+/// bound `c · bound_units(net, k)`.
+///
+/// A seed is *good* iff its session succeeded and finished within the
+/// bound. Passes iff the Clopper–Pearson lower bound on the good
+/// probability reaches `target` at `confidence`.
+///
+/// # Errors
+///
+/// Returns [`WhpFailure`] — listing every offending seed — when the
+/// lower confidence bound misses `target`.
+pub fn check_sweep<M>(
+    reports: &[SessionReport<M>],
+    net: &NetParams,
+    k: usize,
+    c: f64,
+    confidence: f64,
+    target: f64,
+) -> Result<WhpReport, WhpFailure> {
+    let cap = c * bound_units(net, k);
+    let mut failures = Vec::new();
+    let mut worst_ratio = 0.0f64;
+    for (i, r) in reports.iter().enumerate() {
+        let seed = i as u64;
+        if !r.success {
+            failures.push(SeedFailure {
+                seed,
+                reason: format!(
+                    "session failed outright after {} rounds \
+                     (delivered fraction {:.3})",
+                    r.rounds_total, r.delivered_fraction
+                ),
+            });
+            continue;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let rounds = r.rounds_total as f64;
+        if rounds > cap {
+            failures.push(SeedFailure {
+                seed,
+                reason: format!(
+                    "{} rounds exceeds the calibrated bound {:.0} \
+                     (C = {c:.2})",
+                    r.rounds_total, cap
+                ),
+            });
+        } else {
+            worst_ratio = worst_ratio.max(rounds / cap);
+        }
+    }
+    let trials = reports.len() as u64;
+    let good = trials - failures.len() as u64;
+    let report = WhpReport {
+        trials,
+        good,
+        lower_bound: clopper_pearson_lower(good, trials, confidence),
+        confidence,
+        worst_ratio,
+    };
+    if report.lower_bound < target {
+        Err(WhpFailure {
+            report,
+            target,
+            failures,
+        })
+    } else {
+        Ok(report)
+    }
+}
+
+/// Exact one-sided Clopper–Pearson lower confidence bound on a binomial
+/// proportion: the largest `p` with
+/// `P(X ≥ successes | trials, p) ≤ 1 - confidence`.
+///
+/// `successes == 0` gives 0; `successes == trials` gives the closed
+/// form `α^(1/n)`. Inverts the exact binomial tail by bisection in
+/// log-space, so it is numerically stable out to thousands of trials.
+///
+/// # Panics
+///
+/// Panics if `successes > trials`, `trials == 0`, or `confidence` is
+/// outside `(0, 1)`.
+#[must_use]
+pub fn clopper_pearson_lower(successes: u64, trials: u64, confidence: f64) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes exceed trials");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    if successes == 0 {
+        return 0.0;
+    }
+    let alpha = 1.0 - confidence;
+    let ln_alpha = alpha.ln();
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if ln_binomial_tail(trials, successes, mid) > ln_alpha {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo < 1e-12 {
+            break;
+        }
+    }
+    lo
+}
+
+/// `ln P(X ≥ s)` for `X ~ Binomial(n, p)`, via log-sum-exp over the
+/// exact terms.
+fn ln_binomial_tail(n: u64, s: u64, p: f64) -> f64 {
+    if s == 0 {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return 0.0;
+    }
+    let ln_p = p.ln();
+    let ln_q = (-p).ln_1p();
+    let lnf = LnFactorials::up_to(n);
+    // Accumulate relative to the running maximum term.
+    let mut max_term = f64::NEG_INFINITY;
+    let mut terms = Vec::with_capacity((n - s + 1) as usize);
+    for i in s..=n {
+        #[allow(clippy::cast_precision_loss)]
+        let term = lnf.ln_choose(n, i) + i as f64 * ln_p + (n - i) as f64 * ln_q;
+        max_term = max_term.max(term);
+        terms.push(term);
+    }
+    let sum: f64 = terms.iter().map(|t| (t - max_term).exp()).sum();
+    (max_term + sum.ln()).min(0.0)
+}
+
+/// Table of `ln(i!)` for `i ≤ n`.
+struct LnFactorials(Vec<f64>);
+
+impl LnFactorials {
+    fn up_to(n: u64) -> Self {
+        let mut t = Vec::with_capacity((n + 1) as usize);
+        t.push(0.0);
+        for i in 1..=n {
+            #[allow(clippy::cast_precision_loss)]
+            let ln_i = (i as f64).ln();
+            t.push(t[(i - 1) as usize] + ln_i);
+        }
+        LnFactorials(t)
+    }
+
+    fn ln_choose(&self, n: u64, k: u64) -> f64 {
+        self.0[n as usize] - self.0[k as usize] - self.0[(n - k) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_net::stats::SimStats;
+
+    fn report(success: bool, rounds: u64) -> SessionReport<()> {
+        SessionReport {
+            n: 16,
+            k: 8,
+            diameter: 4,
+            max_degree: 4,
+            success,
+            rounds_total: rounds,
+            delivered_fraction: if success { 1.0 } else { 0.5 },
+            stats: SimStats::new(),
+            meta: (),
+        }
+    }
+
+    fn net() -> NetParams {
+        NetParams {
+            n: 16,
+            diameter: 4,
+            max_degree: 4,
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_degenerate_cases() {
+        assert_eq!(clopper_pearson_lower(0, 200, 0.95), 0.0);
+        // All-successes closed form: α^(1/n).
+        let p = clopper_pearson_lower(200, 200, 0.95);
+        let expect = 0.05f64.powf(1.0 / 200.0);
+        assert!((p - expect).abs() < 1e-9, "{p} vs {expect}");
+        // 200/200 at 95% clears 0.985 — the E13 acceptance threshold.
+        assert!(p > 0.985);
+    }
+
+    #[test]
+    fn clopper_pearson_monotone_in_successes() {
+        let mut prev = -1.0;
+        for s in [0, 50, 100, 150, 190, 199, 200] {
+            let p = clopper_pearson_lower(s, 200, 0.95);
+            assert!(p > prev || (s == 0 && p == 0.0), "s={s}: {p} <= {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_against_known_value() {
+        // 190/200 at 95% one-sided: lower bound ≈ 0.9168 (standard
+        // tables give 0.9168 for the exact one-sided interval).
+        let p = clopper_pearson_lower(190, 200, 0.95);
+        assert!((p - 0.9168).abs() < 5e-4, "{p}");
+    }
+
+    #[test]
+    fn bound_units_floors_degenerate_logs() {
+        // A two-node path: every log term floors at 1, so the bound is
+        // k + (D + 1) rather than 0.
+        let tiny = NetParams {
+            n: 2,
+            diameter: 1,
+            max_degree: 1,
+        };
+        assert!(bound_units(&tiny, 4) >= 4.0 + 2.0);
+        // Units grow with each parameter.
+        let base = bound_units(&net(), 8);
+        assert!(bound_units(&net(), 16) > base);
+        let wider = NetParams {
+            max_degree: 8,
+            ..net()
+        };
+        assert!(bound_units(&wider, 8) > base);
+    }
+
+    #[test]
+    fn calibrate_then_check_passes_clean_sweep() {
+        let probe: Vec<SessionReport<()>> = (0..10).map(|i| report(true, 100 + i)).collect();
+        let probes: Vec<_> = probe.iter().map(|r| (net(), 8, r)).collect();
+        let c = calibrate_c(&probes, 1.5);
+        assert!(c > 0.0);
+        let sweep: Vec<SessionReport<()>> = (0..200).map(|i| report(true, 90 + i % 20)).collect();
+        let out = check_sweep(&sweep, &net(), 8, c, 0.95, 0.985).expect("sweep within bound");
+        assert_eq!(out.good, 200);
+        assert!(out.lower_bound > 0.985);
+        assert!(out.worst_ratio <= 1.0);
+    }
+
+    #[test]
+    fn check_sweep_names_the_offending_seed() {
+        let mut sweep: Vec<SessionReport<()>> = (0..50).map(|_| report(true, 100)).collect();
+        sweep[17] = report(false, 5000);
+        sweep[31] = report(true, 1_000_000); // succeeded, but way over bound
+        let err = check_sweep(&sweep, &net(), 8, 2.0, 0.95, 0.985)
+            .expect_err("two bad seeds out of 50 cannot clear 0.985");
+        assert_eq!(err.failures.len(), 2);
+        assert_eq!(err.failures[0].seed, 17);
+        assert!(err.failures[0].reason.contains("failed outright"));
+        assert_eq!(err.failures[1].seed, 31);
+        assert!(err.failures[1]
+            .reason
+            .contains("exceeds the calibrated bound"));
+        let shown = err.to_string();
+        assert!(shown.contains("seed 17"), "{shown}");
+    }
+
+    #[test]
+    fn dead_protocol_never_calibrates_into_a_pass() {
+        let probe: Vec<SessionReport<()>> = (0..5).map(|_| report(false, 0)).collect();
+        let probes: Vec<_> = probe.iter().map(|r| (net(), 8, r)).collect();
+        assert_eq!(calibrate_c(&probes, 1.5), 0.0);
+    }
+}

@@ -324,6 +324,72 @@ mod tests {
         assert_eq!(d.packet(0), None);
     }
 
+    #[test]
+    fn rank_deficient_subspace_never_decodes() {
+        // Rows drawn only from the subspace missing coordinate 4: no
+        // amount of redundancy can complete the decoder, and the rank
+        // saturates strictly below w.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let w = 5;
+        let group = sample_group(&mut rng, w, 4);
+        let mut d = Decoder::new(w, 4);
+        for _ in 0..50 {
+            let mut c = BitVec::random(w, &mut rng);
+            if c.get(4) {
+                c.xor_assign(&BitVec::unit(w, 4));
+            }
+            let p = encode(&group, &c, 4);
+            d.insert(c, p);
+        }
+        assert_eq!(d.rank(), 4, "subspace rank saturates at w - 1");
+        assert!(!d.is_complete());
+        assert_eq!(d.decode(), None);
+        // The missing coordinate is exactly what unblocks it.
+        let c = BitVec::unit(w, 4);
+        let p = encode(&group, &c, 4);
+        assert_eq!(d.insert(c, p), Insert::Innovative { rank: 5 });
+        assert_eq!(d.decode().unwrap(), group);
+    }
+
+    #[test]
+    fn duplicate_rows_raise_rows_seen_but_not_rank() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let group = sample_group(&mut rng, 4, 2);
+        let c = BitVec::from_lsb_bits(0b1011, 4);
+        let p = encode(&group, &c, 2);
+        let mut d = Decoder::new(4, 2);
+        assert_eq!(
+            d.insert(c.clone(), p.clone()),
+            Insert::Innovative { rank: 1 }
+        );
+        for _ in 0..9 {
+            assert_eq!(d.insert(c.clone(), p.clone()), Insert::Redundant);
+        }
+        assert_eq!(d.rank(), 1);
+        assert_eq!(d.rows_seen(), 10);
+    }
+
+    #[test]
+    fn single_packet_group_is_the_degenerate_code() {
+        // w = 1 is what every group becomes under the uncoded ablation
+        // (group_size_override = 1): the only non-zero coefficient
+        // vector is the unit, so one reception decodes.
+        let mut d = Decoder::new(1, 3);
+        assert!(!d.is_complete());
+        assert_eq!(d.decode(), None);
+        assert_eq!(
+            d.insert(BitVec::unit(1, 0), vec![1, 2, 3]),
+            Insert::Innovative { rank: 1 }
+        );
+        assert!(d.is_complete());
+        assert_eq!(d.decode().unwrap(), vec![vec![1, 2, 3]]);
+        // Further copies are pure redundancy.
+        assert_eq!(
+            d.insert(BitVec::unit(1, 0), vec![1, 2, 3]),
+            Insert::Redundant
+        );
+    }
+
     proptest! {
         /// Any full-rank sequence of rows decodes to the original group,
         /// regardless of redundancy and order.

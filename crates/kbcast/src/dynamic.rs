@@ -606,11 +606,11 @@ impl BroadcastProtocol for DynamicProtocol<'_> {
         node.delivered().iter().map(|p| p.key).collect()
     }
 
-    fn drive<F: radio_net::faults::FaultModel>(
+    fn drive<F: radio_net::faults::FaultModel, O: radio_net::session::Observer<DynamicNode>>(
         &self,
         engine: &mut Engine<DynamicNode, F>,
         cap: u64,
-        obs: &mut NoopObserver,
+        obs: &mut O,
     ) -> SessionEnd {
         let mut schedule: HashMap<u64, Vec<(usize, Vec<u8>)>> = HashMap::new();
         for a in self.arrivals {

@@ -44,6 +44,7 @@ pub mod runner;
 pub mod session;
 pub mod stage3;
 pub mod stage4;
+pub mod verify;
 
 pub use config::Config;
 pub use node::KbcastNode;
@@ -52,3 +53,4 @@ pub use runner::{run, CodedProtocol, RunReport, Workload};
 pub use session::{
     run_protocol, run_protocol_on_graph, BroadcastProtocol, NetParams, SessionReport,
 };
+pub use verify::StageInvariants;

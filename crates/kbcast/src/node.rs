@@ -177,6 +177,29 @@ impl KbcastNode {
         self.bfs.as_ref().and_then(|b| b.label()).map(|l| l.dist)
     }
 
+    /// This node's full BFS label (distance + parent), once labeled.
+    /// Labels are adopted exactly once, so a returned label is final.
+    #[must_use]
+    pub fn bfs_label(&self) -> Option<protocols::bfs::BfsLabel> {
+        self.bfs.as_ref().and_then(|b| b.label())
+    }
+
+    /// Read-only view of this node's Stage 3 collection state (the
+    /// root's token ledger), once Stage 3 has started for it. Used by
+    /// the harness-side invariant checkers.
+    #[must_use]
+    pub fn collect_state(&self) -> Option<&CollectState> {
+        self.collect.as_ref()
+    }
+
+    /// Read-only view of this node's Stage 4 dissemination state
+    /// (per-group decoders), once Stage 4 reception has started for it.
+    /// Used by the harness-side invariant checkers.
+    #[must_use]
+    pub fn dissem_state(&self) -> Option<&DissemState> {
+        self.dissem.as_ref()
+    }
+
     /// Stage-local round at which this node saw Stage 3 end, if it has.
     #[must_use]
     pub fn collection_finished_at(&self) -> Option<u64> {

@@ -203,6 +203,15 @@ pub struct RunOptions {
     /// Override the default round cap (None = the formula in
     /// [`round_cap`]).
     pub max_rounds: Option<u64>,
+    /// Run the session under the online verifiers: the
+    /// [`radio_net::verify::ModelChecker`] radio-axiom checker plus the
+    /// protocol's own invariant checks (see
+    /// [`crate::session::BroadcastProtocol::verify_checks`]). Any
+    /// violation turns the run into
+    /// [`radio_net::error::Error::VerificationFailed`] carrying the
+    /// seed. Off by default — and zero-cost then: detail recording is
+    /// compiled out of the engine's hot loop.
+    pub verify: bool,
 }
 
 impl RunOptions {
@@ -505,6 +514,20 @@ impl BroadcastProtocol for CodedProtocol {
 
     fn delivered(&self, node: &KbcastNode) -> Vec<crate::packet::PacketKey> {
         node.packets().iter().map(|p| p.key).collect()
+    }
+
+    fn verify_checks(
+        &self,
+        net: &NetParams,
+        workload: &Workload,
+        clean: bool,
+    ) -> Vec<Box<dyn radio_net::verify::Check<KbcastNode>>> {
+        vec![Box::new(crate::verify::StageInvariants::new(
+            self.resolve(net),
+            net.n,
+            workload.keys(),
+            clean,
+        ))]
     }
 
     fn finish(&self, obs: StageObserver, nodes: &[KbcastNode], end: &SessionEnd) -> KbcastMeta {

@@ -32,6 +32,7 @@ use radio_net::graph::{Graph, NodeId};
 use radio_net::session::{Observer, SessionEnd};
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
+use radio_net::verify::{Check, ModelChecker, Verified, VerifyStack};
 
 use crate::packet::PacketKey;
 use crate::runner::{RunOptions, Workload};
@@ -110,14 +111,33 @@ pub trait BroadcastProtocol {
     /// arrivals) override this with a custom control hook.
     ///
     /// Generic over the engine's fault model so the same drive serves
-    /// clean ([`NoFaults`]) and fault-injected sessions.
-    fn drive<F: FaultModel>(
+    /// clean ([`NoFaults`]) and fault-injected sessions, and over the
+    /// observer so the driver can tee the protocol's own observer with
+    /// a [`VerifyStack`] under [`RunOptions::verify`].
+    fn drive<F: FaultModel, O: Observer<Self::Node>>(
         &self,
         engine: &mut Engine<Self::Node, F>,
         cap: u64,
-        obs: &mut Self::Obs,
+        obs: &mut O,
     ) -> SessionEnd {
         engine.run_session(cap, obs)
+    }
+
+    /// Protocol-level invariant checkers to run alongside the
+    /// model-conformance checker under [`RunOptions::verify`].
+    ///
+    /// `clean` is `true` when the session injects no adversity (no
+    /// fault model, no legacy loss): checkers may then also assert
+    /// w.h.p. invariants that injected faults could legitimately break
+    /// (e.g. unique leader election). Defaults to no extra checks.
+    fn verify_checks(
+        &self,
+        net: &NetParams,
+        workload: &Workload,
+        clean: bool,
+    ) -> Vec<Box<dyn Check<Self::Node>>> {
+        let _ = (net, workload, clean);
+        Vec::new()
     }
 
     /// Assembles the protocol's completion metadata from the observer
@@ -194,6 +214,9 @@ pub fn run_protocol<P: BroadcastProtocol>(
 /// Returns [`Error::InvalidParameter`] for a `loss_rate` outside
 /// `[0, 1)` or `max_rounds == Some(0)` — checked before any engine
 /// state is constructed — and propagates engine-construction failures.
+/// With [`RunOptions::verify`] set, returns
+/// [`Error::VerificationFailed`] (carrying the seed and the first
+/// violations) if the online model/invariant checkers flag anything.
 ///
 /// # Panics
 ///
@@ -266,6 +289,26 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
 
     let (nodes, awake) = protocol.build(&net, workload, seed);
     let mut obs = protocol.observer(&net);
+
+    // Under `--verify`, give the checker stack its own copy of the
+    // engine's two construction inputs (topology + initial awake set)
+    // before the engine consumes them, so every round is re-derived
+    // from independent state.
+    let mut stack: Option<VerifyStack<P::Node>> = if options.verify {
+        let mut stack = VerifyStack::new();
+        stack.push(Box::new(ModelChecker::new(
+            graph.clone(),
+            awake.iter().copied(),
+        )));
+        let clean = !F::ENABLED && options.loss_rate == 0.0;
+        for check in protocol.verify_checks(&net, workload, clean) {
+            stack.push(check);
+        }
+        Some(stack)
+    } else {
+        None
+    };
+
     let mut engine = Engine::with_faults(graph, nodes, awake, faults)?;
     if options.loss_rate > 0.0 {
         engine.set_loss(options.loss_rate, seed)?;
@@ -273,7 +316,28 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
     let cap = options
         .max_rounds
         .unwrap_or_else(|| protocol.round_cap(&net, k));
-    let end = protocol.drive(&mut engine, cap, &mut obs);
+    let end = match stack.as_mut() {
+        Some(stack) => {
+            let mut tee = Verified {
+                inner: &mut obs,
+                stack,
+            };
+            protocol.drive(&mut engine, cap, &mut tee)
+        }
+        None => protocol.drive(&mut engine, cap, &mut obs),
+    };
+
+    if let Some(stack) = stack.as_mut() {
+        stack.session_end(engine.nodes(), &end);
+        let count = stack.total_violations();
+        if count > 0 {
+            return Err(Error::VerificationFailed {
+                seed,
+                count,
+                details: stack.summary(8),
+            });
+        }
+    }
 
     // Verify delivery against the shared ground-truth key set.
     let mut delivered_sum = 0.0f64;

@@ -26,6 +26,20 @@ struct GroupRx {
     ready: Option<Vec<Vec<u8>>>,
 }
 
+/// Harness-visible decoding status of one group slot, as reported by
+/// [`DissemState::group_status`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupStatus {
+    /// Group index.
+    pub group: u32,
+    /// Decoder rank (independent coded rows held so far).
+    pub rank: usize,
+    /// Group size `w` (rows needed for full rank).
+    pub size: usize,
+    /// Whether the group has been decoded back to plaintext packets.
+    pub decoded: bool,
+}
+
 /// Per-node state of the dissemination stage. Drive with `poll`/`deliver`
 /// using stage-local rounds.
 #[derive(Clone, Debug)]
@@ -184,6 +198,28 @@ impl DissemState {
             }
         }
         out
+    }
+
+    /// Per-group decoding status for every group this node has seen a
+    /// header for, in group order — the harness-side view the invariant
+    /// checkers read (rank monotonicity, decode only at full rank).
+    /// Empty for the root, which sources the groups rather than
+    /// decoding them.
+    pub fn group_status(&self) -> impl Iterator<Item = GroupStatus> + '_ {
+        self.rx.iter().enumerate().filter_map(|(g, slot)| {
+            slot.as_ref().map(|rx| GroupStatus {
+                group: u32::try_from(g).expect("group count fits u32"),
+                rank: rx.decoder.rank(),
+                size: rx.meta.size,
+                decoded: rx.ready.is_some(),
+            })
+        })
+    }
+
+    /// Number of fully decoded groups so far (0 for the root).
+    #[must_use]
+    pub fn decoded_groups(&self) -> u32 {
+        self.decoded
     }
 
     /// Transmit decision at stage-local round `local`.

@@ -17,4 +17,4 @@
 
 pub mod disseminate;
 
-pub use disseminate::DissemState;
+pub use disseminate::{DissemState, GroupStatus};

@@ -1,0 +1,466 @@
+//! Per-stage protocol invariants, checked online during `--verify`
+//! sessions alongside the radio-axiom [`radio_net::verify::ModelChecker`].
+//!
+//! Where the model checker guards the *channel*, [`StageInvariants`]
+//! guards the *protocol*: properties each stage of the paper's
+//! algorithm must preserve in every execution, independent of the
+//! randomness that drives it. Checked always (faults included):
+//!
+//! - **BFS tree shape** (Stage 2) — labels are adopted exactly once; a
+//!   distance-0 label belongs to a root, and any other label names a
+//!   parent whose own final distance is exactly one less.
+//! - **Token conservation** (Stage 3) — the root's collected-packet
+//!   ledger grows monotonically, never holds a duplicate key, and never
+//!   holds a key outside the workload's ground-truth set (no forgery).
+//! - **Decoder sanity** (Stage 4) — each group's GF(2) rank is monotone
+//!   nondecreasing, never exceeds the group size, and a group reports
+//!   decoded only at full rank; a node's decoded-group count is
+//!   monotone too.
+//! - **End-to-end no-forgery** — every packet any node ends up holding
+//!   has a key from the ground-truth set, with no duplicates.
+//!
+//! Checked only in *clean* runs (no fault model, no legacy loss),
+//! because injected adversity can legitimately break them:
+//!
+//! - **Unique leader** (Stage 1) — exactly one root, and it is the
+//!   maximum id among the packet-holding candidates.
+//! - **Conservation on completion** — a node claiming all packets
+//!   ([`KbcastNode::has_all_packets`]) holds exactly the expected set.
+//!
+//! All per-round work is gated on `events.receptions > 0`: protocol
+//! state only changes through receptions, so silent rounds cost one
+//! branch.
+
+use radio_net::session::RoundEvents;
+use radio_net::verify::{Check, Violation, ViolationLog};
+use radio_net::SessionEnd;
+
+use crate::config::Config;
+use crate::node::KbcastNode;
+use crate::packet::PacketKey;
+
+/// Online checker for the four-stage protocol's invariants (see the
+/// [module docs](self)). One instance observes one session.
+#[derive(Debug)]
+pub struct StageInvariants {
+    cfg: Config,
+    /// Ground-truth key set, sorted (the driver's `expected_keys`).
+    expected: Vec<PacketKey>,
+    /// Whether w.h.p.-only invariants (unique leader, conservation on
+    /// completion) may be asserted.
+    clean: bool,
+    scanned: bool,
+    /// Per node: BFS label validated (labels are write-once, so each
+    /// node is checked exactly once).
+    bfs_checked: Vec<bool>,
+    /// Per node: last seen root-ledger size (only roots are tracked).
+    prev_collected: Vec<usize>,
+    /// Per node: last seen decoded-group count.
+    prev_decoded: Vec<u32>,
+    /// Per node, per group: last seen decoder rank.
+    prev_ranks: Vec<Vec<usize>>,
+    log: ViolationLog,
+}
+
+impl StageInvariants {
+    /// A checker for a session of `n` nodes under `cfg`, verifying
+    /// against the sorted ground-truth key set `expected`. `clean`
+    /// enables the w.h.p.-only invariants (see the [module docs](self)).
+    #[must_use]
+    pub fn new(cfg: Config, n: usize, expected: Vec<PacketKey>, clean: bool) -> Self {
+        debug_assert!(expected.windows(2).all(|w| w[0] < w[1]));
+        StageInvariants {
+            cfg,
+            expected,
+            clean,
+            scanned: false,
+            bfs_checked: vec![false; n],
+            prev_collected: vec![0; n],
+            prev_decoded: vec![0; n],
+            prev_ranks: vec![Vec::new(); n],
+            log: ViolationLog::default(),
+        }
+    }
+
+    fn expects(&self, key: PacketKey) -> bool {
+        self.expected.binary_search(&key).is_ok()
+    }
+
+    /// Stage 1 postcondition, one scan right after the stage ends
+    /// (leader flags finalize during the first post-Stage-1 poll, and
+    /// every candidate is awake from round 0).
+    fn check_election(&mut self, round: u64, nodes: &[KbcastNode]) {
+        let roots: Vec<u64> = nodes
+            .iter()
+            .filter(|nd| nd.is_root())
+            .map(KbcastNode::id)
+            .collect();
+        let max_candidate = nodes
+            .iter()
+            .filter(|nd| nd.is_candidate())
+            .map(KbcastNode::id)
+            .max();
+        match (roots.as_slice(), max_candidate) {
+            ([], _) => self
+                .log
+                .record(round, "no leader elected among the candidates".to_string()),
+            ([root], Some(max)) if *root != max => self.log.record(
+                round,
+                format!("leader {root} is not the maximum candidate id {max}"),
+            ),
+            ([_], _) => {}
+            (many, _) => self
+                .log
+                .record(round, format!("multiple leaders elected: {many:?}")),
+        }
+    }
+
+    /// Stage 2 shape: validates a node's label once, against its
+    /// parent's (final, write-once) label.
+    fn check_bfs(&mut self, round: u64, nodes: &[KbcastNode]) {
+        for (i, node) in nodes.iter().enumerate() {
+            if self.bfs_checked[i] {
+                continue;
+            }
+            let Some(label) = node.bfs_label() else {
+                continue;
+            };
+            self.bfs_checked[i] = true;
+            match label.parent {
+                None => {
+                    if !node.is_root() || label.dist != 0 {
+                        self.log.record(
+                            round,
+                            format!(
+                                "node {i} has a parentless label (dist {}) but is not the root",
+                                label.dist
+                            ),
+                        );
+                    }
+                }
+                Some(p) => {
+                    let pd = usize::try_from(p)
+                        .ok()
+                        .and_then(|pi| nodes.get(pi))
+                        .and_then(|pn| pn.bfs_label().map(|l| l.dist));
+                    match pd {
+                        None => self
+                            .log
+                            .record(round, format!("node {i} names unlabeled parent {p}")),
+                        Some(pd) if pd + 1 != label.dist => self.log.record(
+                            round,
+                            format!(
+                                "node {i} at BFS distance {} has parent {p} at distance {pd} \
+                                 (must differ by exactly 1)",
+                                label.dist
+                            ),
+                        ),
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stage 3 token conservation: the root ledger only grows, and only
+    /// with fresh ground-truth keys.
+    fn check_collection(&mut self, round: u64, nodes: &[KbcastNode]) {
+        for (i, node) in nodes.iter().enumerate() {
+            if !node.is_root() {
+                continue;
+            }
+            let Some(collect) = node.collect_state() else {
+                continue;
+            };
+            let collected = collect.collected();
+            if collected.len() < self.prev_collected[i] {
+                self.log.record(
+                    round,
+                    format!(
+                        "root {i} ledger shrank from {} to {} packets",
+                        self.prev_collected[i],
+                        collected.len()
+                    ),
+                );
+            }
+            if collected.len() != self.prev_collected[i] {
+                // Validate only on change; the ledger is append-only so
+                // re-validating old entries would be redundant work.
+                let mut keys: Vec<PacketKey> = collected.iter().map(|p| p.key).collect();
+                keys.sort_unstable();
+                for w in keys.windows(2) {
+                    if w[0] == w[1] {
+                        self.log.record(
+                            round,
+                            format!("root {i} collected duplicate key {:?}", w[0]),
+                        );
+                    }
+                }
+                for key in keys {
+                    if !self.expects(key) {
+                        self.log
+                            .record(round, format!("root {i} collected forged key {key:?}"));
+                    }
+                }
+                self.prev_collected[i] = collected.len();
+            }
+        }
+    }
+
+    /// Stage 4 decoder sanity: ranks and decoded counts only grow, and
+    /// decode happens exactly at full rank.
+    fn check_dissemination(&mut self, round: u64, nodes: &[KbcastNode]) {
+        for (i, node) in nodes.iter().enumerate() {
+            let Some(dissem) = node.dissem_state() else {
+                continue;
+            };
+            let decoded = dissem.decoded_groups();
+            if decoded < self.prev_decoded[i] {
+                self.log.record(
+                    round,
+                    format!(
+                        "node {i} decoded-group count fell from {} to {decoded}",
+                        self.prev_decoded[i]
+                    ),
+                );
+            }
+            self.prev_decoded[i] = decoded;
+            for gs in dissem.group_status() {
+                let slot = gs.group as usize;
+                if self.prev_ranks[i].len() <= slot {
+                    self.prev_ranks[i].resize(slot + 1, 0);
+                }
+                if gs.rank < self.prev_ranks[i][slot] {
+                    self.log.record(
+                        round,
+                        format!(
+                            "node {i} group {} rank fell from {} to {} \
+                             (must be monotone nondecreasing)",
+                            gs.group, self.prev_ranks[i][slot], gs.rank
+                        ),
+                    );
+                }
+                self.prev_ranks[i][slot] = gs.rank;
+                if gs.rank > gs.size {
+                    self.log.record(
+                        round,
+                        format!(
+                            "node {i} group {} rank {} exceeds group size {}",
+                            gs.group, gs.rank, gs.size
+                        ),
+                    );
+                }
+                if gs.decoded && gs.rank != gs.size {
+                    self.log.record(
+                        round,
+                        format!(
+                            "node {i} decoded group {} at rank {} of {} \
+                             (decode requires full rank)",
+                            gs.group, gs.rank, gs.size
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Check<KbcastNode> for StageInvariants {
+    fn name(&self) -> &'static str {
+        "stage"
+    }
+
+    fn on_round(&mut self, events: &RoundEvents, nodes: &[KbcastNode]) {
+        if !self.scanned && events.round >= self.cfg.stage1_rounds() {
+            self.scanned = true;
+            if self.clean {
+                self.check_election(events.round, nodes);
+            }
+        }
+        // Everything below watches state that only changes through
+        // receptions; silent rounds are free.
+        if events.receptions == 0 {
+            return;
+        }
+        let round = events.round;
+        self.check_bfs(round, nodes);
+        self.check_collection(round, nodes);
+        self.check_dissemination(round, nodes);
+    }
+
+    fn on_session_end(&mut self, nodes: &[KbcastNode], _end: &SessionEnd) {
+        for (i, node) in nodes.iter().enumerate() {
+            let mut keys: Vec<PacketKey> = node.packets().iter().map(|p| p.key).collect();
+            keys.sort_unstable();
+            for w in keys.windows(2) {
+                if w[0] == w[1] {
+                    self.log.record(
+                        u64::MAX,
+                        format!("node {i} ended up holding duplicate key {:?}", w[0]),
+                    );
+                }
+            }
+            for &key in &keys {
+                if !self.expects(key) {
+                    self.log.record(
+                        u64::MAX,
+                        format!("node {i} ended up holding forged key {key:?}"),
+                    );
+                }
+            }
+            if self.clean && node.has_all_packets() && keys != self.expected {
+                self.log.record(
+                    u64::MAX,
+                    format!(
+                        "node {i} claims all packets but holds {} of {} expected keys",
+                        keys.len(),
+                        self.expected.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        self.log.stored()
+    }
+
+    fn total_violations(&self) -> usize {
+        self.log.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{CodedProtocol, RunOptions, Workload};
+    use crate::session::{run_protocol, BroadcastProtocol, NetParams};
+    use radio_net::topology::Topology;
+
+    fn verify_opts() -> RunOptions {
+        RunOptions {
+            verify: true,
+            ..RunOptions::default()
+        }
+    }
+
+    #[test]
+    fn clean_grid_run_verifies() {
+        let protocol = CodedProtocol::default();
+        let workload = Workload::single_source(9, 6, 4);
+        let report = run_protocol(
+            &protocol,
+            &Topology::Grid2d { rows: 3, cols: 3 },
+            &workload,
+            11,
+            verify_opts(),
+        )
+        .expect("verified run must be violation-free");
+        assert!(report.success);
+    }
+
+    #[test]
+    fn clean_multi_source_run_verifies() {
+        let protocol = CodedProtocol::default();
+        let workload = Workload::round_robin(12, 9);
+        let report = run_protocol(
+            &protocol,
+            &Topology::Gnp { n: 12, p: 0.35 },
+            &workload,
+            5,
+            verify_opts(),
+        )
+        .expect("verified run must be violation-free");
+        assert!(report.success);
+    }
+
+    #[test]
+    fn coded_protocol_registers_stage_checks() {
+        let protocol = CodedProtocol::default();
+        let net = NetParams {
+            n: 9,
+            diameter: 4,
+            max_degree: 4,
+        };
+        let workload = Workload::single_source(9, 3, 4);
+        assert!(!workload.keys().is_empty());
+        let checks = protocol.verify_checks(&net, &workload, true);
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].name(), "stage");
+    }
+
+    /// [`CodedProtocol`] with a tampered checker: its
+    /// [`StageInvariants`] gets a ground-truth set missing the last
+    /// key, so a *correct* run must trip the no-forgery invariant.
+    struct Tampered(CodedProtocol);
+
+    impl BroadcastProtocol for Tampered {
+        type Node = KbcastNode;
+        type Obs = <CodedProtocol as BroadcastProtocol>::Obs;
+        type Meta = <CodedProtocol as BroadcastProtocol>::Meta;
+
+        fn name(&self) -> &'static str {
+            "tampered"
+        }
+
+        fn build(
+            &self,
+            net: &NetParams,
+            workload: &Workload,
+            seed: u64,
+        ) -> (Vec<KbcastNode>, Vec<radio_net::graph::NodeId>) {
+            self.0.build(net, workload, seed)
+        }
+
+        fn observer(&self, net: &NetParams) -> Self::Obs {
+            self.0.observer(net)
+        }
+
+        fn round_cap(&self, net: &NetParams, k: usize) -> u64 {
+            self.0.round_cap(net, k)
+        }
+
+        fn delivered(&self, node: &KbcastNode) -> Vec<PacketKey> {
+            self.0.delivered(node)
+        }
+
+        fn verify_checks(
+            &self,
+            net: &NetParams,
+            workload: &Workload,
+            clean: bool,
+        ) -> Vec<Box<dyn Check<KbcastNode>>> {
+            let mut keys = workload.keys();
+            keys.pop();
+            let cfg = Config::for_network(net.n, net.diameter, net.max_degree);
+            vec![Box::new(StageInvariants::new(cfg, net.n, keys, clean))]
+        }
+
+        fn finish(&self, obs: Self::Obs, nodes: &[KbcastNode], end: &SessionEnd) -> Self::Meta {
+            self.0.finish(obs, nodes, end)
+        }
+    }
+
+    #[test]
+    fn forged_key_fails_the_driver() {
+        let err = run_protocol(
+            &Tampered(CodedProtocol::default()),
+            &Topology::Grid2d { rows: 3, cols: 3 },
+            &Workload::single_source(9, 6, 4),
+            11,
+            verify_opts(),
+        )
+        .expect_err("tampered expected set must trip the no-forgery check");
+        let radio_net::error::Error::VerificationFailed {
+            seed,
+            count,
+            details,
+        } = err
+        else {
+            panic!("expected VerificationFailed, got {err}");
+        };
+        assert_eq!(seed, 11);
+        assert!(count > 0);
+        assert!(details.contains("forged key"), "{details}");
+    }
+}

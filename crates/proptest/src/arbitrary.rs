@@ -10,6 +10,14 @@ use crate::test_runner::TestRng;
 pub trait Arbitrary: Sized + Debug {
     /// Draws one arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Simpler candidates for a failing value (see
+    /// [`Strategy::shrink`]); integers halve toward zero, `true` becomes
+    /// `false`. Default: none.
+    fn arbitrary_shrink(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -17,6 +25,19 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+
+            fn arbitrary_shrink(value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0];
+                let half = v / 2; // truncates toward zero for signed types
+                if half != 0 {
+                    out.push(half);
+                }
+                out
             }
         }
     )*};
@@ -28,11 +49,27 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+
+    fn arbitrary_shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn arbitrary_shrink(value: &f64) -> Vec<f64> {
+        if *value == 0.0 {
+            Vec::new()
+        } else {
+            vec![0.0, value / 2.0]
+        }
     }
 }
 
@@ -45,6 +82,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::arbitrary_shrink(value)
     }
 }
 
@@ -66,6 +107,15 @@ mod tests {
         let a = s.generate(&mut rng);
         let b = s.generate(&mut rng);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn integers_shrink_toward_zero() {
+        assert_eq!(any::<u32>().shrink(&0), Vec::<u32>::new());
+        assert_eq!(any::<u32>().shrink(&100), vec![0, 50]);
+        assert_eq!(any::<i32>().shrink(&-100), vec![0, -50]);
+        assert_eq!(any::<bool>().shrink(&true), vec![false]);
+        assert_eq!(any::<bool>().shrink(&false), Vec::<bool>::new());
     }
 
     #[test]

@@ -14,6 +14,16 @@ pub struct SizeRange {
     max: usize,
 }
 
+impl SizeRange {
+    pub(crate) fn min(self) -> usize {
+        self.min
+    }
+
+    pub(crate) fn max(self) -> usize {
+        self.max
+    }
+}
+
 impl From<usize> for SizeRange {
     fn from(len: usize) -> Self {
         SizeRange {
@@ -62,7 +72,7 @@ pub struct VecStrategy<S> {
 
 impl<S: Strategy> Strategy for VecStrategy<S>
 where
-    S::Value: Debug,
+    S::Value: Debug + Clone,
 {
     type Value = Vec<S::Value>;
 
@@ -70,6 +80,32 @@ where
         let span = (self.size.max - self.size.min) as u64;
         let len = self.size.min + rng.below(span) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first (most aggressive): drop whole halves,
+        // then single elements — always respecting the minimum length.
+        if value.len() / 2 >= self.size.min && value.len() > 1 {
+            out.push(value[..value.len() / 2].to_vec());
+            out.push(value[value.len() - value.len() / 2..].to_vec());
+        }
+        if value.len() > self.size.min {
+            for i in 0..value.len() {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Then element-wise shrinks, one position at a time.
+        for (i, elem) in value.iter().enumerate() {
+            for cand in self.element.shrink(elem) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
     }
 }
 
@@ -86,6 +122,18 @@ mod tests {
             let v = s.generate(&mut rng);
             assert!((2..6).contains(&v.len()));
         }
+    }
+
+    #[test]
+    fn shrink_respects_minimum_length_and_simplifies_elements() {
+        let s = vec(0u32..100, 2..6);
+        // At the minimum length only element-wise shrinks remain.
+        let at_min = s.shrink(&std::vec![0, 0]);
+        assert!(at_min.is_empty());
+        let cands = s.shrink(&std::vec![10, 20, 30]);
+        assert!(cands.iter().all(|c| c.len() >= 2));
+        assert!(cands.iter().any(|c| c.len() == 2)); // removals proposed
+        assert!(cands.iter().any(|c| c.len() == 3)); // element shrinks too
     }
 
     #[test]

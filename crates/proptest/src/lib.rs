@@ -12,19 +12,27 @@
 //!
 //! Differences from upstream, by design:
 //!
-//! * **No shrinking.** A failing case is reported with its generated
-//!   values (all strategies here produce `Debug` values) but not
-//!   minimized.
+//! * **Stateless shrinking.** Upstream threads a `ValueTree` through
+//!   every generated value; this shim instead asks the strategy for
+//!   simpler candidates after the fact ([`strategy::Strategy::shrink`])
+//!   and greedily re-runs the test body on them (budgeted at 512
+//!   re-runs). Failures raised through the `prop_assert*` macros are
+//!   minimized; a body that panics outright is reported unshrunk.
 //! * **Deterministic generation.** Cases are derived from a fixed seed
 //!   mixed with the test function's name, so failures reproduce exactly
 //!   across runs; there is no persistence file (any
 //!   `proptest-regressions/` files in the tree are inert).
+//! * **Graph strategies.** [`graph::edge_list`] has no upstream
+//!   counterpart: it generates random topologies and shrinks them
+//!   structurally (delete-vertex, then delete-edge) so topology
+//!   counterexamples come out minimal.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arbitrary;
 pub mod collection;
+pub mod graph;
 pub mod strategy;
 pub mod test_runner;
 
@@ -39,8 +47,10 @@ pub mod prelude {
 
 /// Defines property-test functions: each argument is drawn from its
 /// strategy for `ProptestConfig::cases` iterations, and the body runs
-/// once per case. Failures (via the `prop_assert*` macros or panics in
-/// the body) report the generated values.
+/// once per case. A failure raised through the `prop_assert*` macros is
+/// greedily minimized by re-running the body on the strategies'
+/// [`strategy::Strategy::shrink`] candidates before being reported; a
+/// body that panics outright is reported with its unshrunk inputs.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -54,17 +64,23 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                // The argument strategies as one tuple strategy, so the
+                // shrink loop below gets per-argument shrinking for free.
+                let strategies = ( $($strat,)+ );
                 for case in 0..config.cases {
-                    let values = ( $($crate::strategy::Strategy::generate(&$strat, &mut rng),)+ );
+                    let values = $crate::strategy::Strategy::generate(&strategies, &mut rng);
                     let described = format!("{values:?}");
-                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
-                        let ( $($pat,)+ ) = values;
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    if let ::std::result::Result::Err(message) = outcome {
+                    if let ::std::option::Option::Some((minimal, message)) = $crate::check_case(
+                        &strategies,
+                        values,
+                        &|( $($pat,)+ )| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ) {
                         panic!(
-                            "proptest case {case}/{cases} failed: {message}\n  inputs: {described}",
+                            "proptest case {case}/{cases} failed: {message}\n  \
+                             minimal inputs: {minimal:?}\n  original inputs: {described}",
                             cases = config.cases,
                         );
                     }
@@ -77,6 +93,57 @@ macro_rules! proptest {
             @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
         );
     };
+}
+
+/// Runs one generated case behind [`proptest!`]: `None` if the body
+/// passed, otherwise the failing value — minimized through
+/// [`shrink_failure`] — and its failure message. Public for the macro
+/// (the generic signature is also what lets the macro's body closure
+/// infer its parameter type); not part of the upstream API.
+pub fn check_case<S: strategy::Strategy>(
+    strategy: &S,
+    values: S::Value,
+    body: &impl Fn(S::Value) -> Result<(), String>,
+) -> Option<(S::Value, String)>
+where
+    S::Value: Clone,
+{
+    match body(values.clone()) {
+        Ok(()) => None,
+        Err(message) => Some(shrink_failure(strategy, values, message, body)),
+    }
+}
+
+/// The greedy shrink loop behind [`proptest!`]: repeatedly takes the
+/// first [`strategy::Strategy::shrink`] candidate that still fails,
+/// restarting from it, until no candidate fails or the re-run budget
+/// (512) is spent. Returns the simplest failing value found and its
+/// failure message. Public for the macro; not part of the upstream API.
+pub fn shrink_failure<S: strategy::Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    run: &impl Fn(S::Value) -> Result<(), String>,
+) -> (S::Value, String)
+where
+    S::Value: Clone,
+{
+    let mut budget = 512usize;
+    'outer: while budget > 0 {
+        for cand in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(m) = run(cand.clone()) {
+                value = cand;
+                message = m;
+                continue 'outer;
+            }
+        }
+        break; // no candidate still fails: minimal
+    }
+    (value, message)
 }
 
 /// Fails the current property-test case unless `cond` holds.
@@ -168,6 +235,36 @@ mod tests {
             prop_assert!(s % 2 == 0);
             prop_assert!(s < 20);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal inputs: (37,)")]
+    fn failures_shrink_to_the_boundary() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[test]
+            fn boundary(x in 0usize..1000) {
+                prop_assert!(x < 37);
+            }
+        }
+        boundary();
+    }
+
+    #[test]
+    fn shrink_failure_is_budgeted_and_greedy() {
+        // Directly exercise the loop: the minimal failing value of
+        // "fails iff >= 37" under range shrinking is exactly 37.
+        let strategy = 0usize..1000;
+        let run = |v: usize| {
+            if v >= 37 {
+                Err("too big".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, msg) = crate::shrink_failure(&strategy, 912, "too big".into(), &run);
+        assert_eq!(minimal, 37);
+        assert_eq!(msg, "too big");
     }
 
     #[test]

@@ -8,14 +8,27 @@ use crate::test_runner::TestRng;
 ///
 /// Mirrors the real crate's trait: `Value` is the generated type, and the
 /// `prop_map` / `prop_flat_map` combinators build derived strategies.
-/// (This shim generates without shrinking, so a strategy is just a
-/// deterministic function of the test RNG.)
+/// Unlike upstream — where shrinking is carried by a `ValueTree` per
+/// generated value — this shim shrinks *stateless*: [`Strategy::shrink`]
+/// proposes strictly-simpler candidates from a failing value, and the
+/// [`crate::proptest!`] macro greedily re-runs the test body on them.
 pub trait Strategy {
     /// The type of generated values.
     type Value: Debug;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly-simpler candidate values derived from a failing
+    /// `value`, most-aggressive first (the shrink loop takes the first
+    /// candidate that still fails and restarts from it). Default: no
+    /// candidates — the value is reported as-is. Combinators that cannot
+    /// invert their transformation ([`Map`], [`FlatMap`]) keep the
+    /// default.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Transforms generated values through `f`.
     fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -32,6 +45,18 @@ pub trait Strategy {
         Self: Sized,
     {
         FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -87,6 +112,13 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
                 self.start.wrapping_add(rng.below(span) as $t)
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as u128, *value as u128)
+                    .into_iter()
+                    .map(|off| self.start.wrapping_add(off as $t))
+                    .collect()
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -100,15 +132,43 @@ macro_rules! impl_range_strategy {
                 let span = (end as u128).wrapping_sub(start as u128) as u64 + 1;
                 start.wrapping_add(rng.below(span) as $t)
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as u128, *value as u128)
+                    .into_iter()
+                    .map(|off| self.start().wrapping_add(off as $t))
+                    .collect()
+            }
         }
     )*};
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Offsets-from-start candidates for a value `off = value - start` above
+/// its range start: the start itself, the halfway point, and one step
+/// down — most aggressive first.
+fn shrink_toward(start: u128, value: u128) -> Vec<u64> {
+    let off = value.wrapping_sub(start) as u64;
+    let mut out = Vec::new();
+    if off > 0 {
+        out.push(0);
+        if off / 2 > 0 {
+            out.push(off / 2);
+        }
+        if off - 1 > off / 2 {
+            out.push(off - 1);
+        }
+    }
+    out
+}
+
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident => $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -116,18 +176,30 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
-impl_tuple_strategy!(A, B, C, D, E, F, G);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
 
 #[cfg(test)]
 mod tests {
@@ -163,5 +235,38 @@ mod tests {
             let (n, i) = strat.generate(&mut rng);
             assert!(i < n);
         }
+    }
+
+    #[test]
+    fn range_shrink_moves_toward_start() {
+        let s = 3usize..100;
+        assert_eq!(s.shrink(&3), Vec::<usize>::new());
+        let cands = s.shrink(&83);
+        assert_eq!(cands, vec![3, 43, 82]);
+        assert!(cands.iter().all(|&c| (3..83).contains(&c)));
+        // Signed ranges shrink toward their (possibly negative) start.
+        assert_eq!((-5i32..5).shrink(&-5), Vec::<i32>::new());
+        assert_eq!((-5i32..5).shrink(&3), vec![-5, -1, 2]);
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let s = (0usize..10, 0usize..10);
+        let cands = s.shrink(&(4, 6));
+        assert!(!cands.is_empty());
+        for (a, b) in &cands {
+            let first_shrunk = *a < 4 && *b == 6;
+            let second_shrunk = *a == 4 && *b < 6;
+            assert!(first_shrunk || second_shrunk, "({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn reference_strategies_delegate() {
+        let s = 0usize..8;
+        let by_ref = &s;
+        let mut rng = TestRng::for_test("byref");
+        assert!(Strategy::generate(&by_ref, &mut rng) < 8);
+        assert_eq!(Strategy::shrink(&by_ref, &5), s.shrink(&5));
     }
 }

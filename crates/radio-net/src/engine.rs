@@ -10,8 +10,84 @@ use crate::error::Error;
 use crate::faults::{ChannelView, FaultEvents, FaultModel, NoFaults, UniformLoss};
 use crate::graph::{Graph, NodeId};
 use crate::message::MessageSize;
-use crate::session::{NoopObserver, Observer, RoundEvents, SessionControl, SessionEnd};
+use crate::session::{
+    NoopObserver, Observer, RoundEvents, RoundRecord, SessionControl, SessionEnd,
+};
 use crate::stats::{RoundOutcome, SimStats};
+
+/// Engine-internal sink for per-listener round events, mirroring the
+/// `const ENABLED` gating of [`FaultModel`]: [`Engine::step`] runs with
+/// [`NoDetail`] (`ENABLED = false`), so every recording call below
+/// monomorphizes to nothing and the hot loop is untouched; detail-opted
+/// observers (see [`Observer::DETAIL`]) run with a [`RoundRecord`] sink.
+pub(crate) trait DetailSink {
+    const ENABLED: bool;
+    fn external_wake(&mut self, node: u32);
+    fn transmit(&mut self, node: u32);
+    fn deliver(&mut self, listener: u32, from: u32);
+    fn collision(&mut self, listener: u32);
+    fn woken(&mut self, listener: u32);
+    fn dropped(&mut self, listener: u32);
+    fn jammed(&mut self, listener: u32);
+    fn crashed_listener(&mut self, listener: u32);
+    fn wakeup_suppressed(&mut self, listener: u32);
+}
+
+/// The do-nothing sink behind plain [`Engine::step`].
+pub(crate) struct NoDetail;
+
+impl DetailSink for NoDetail {
+    const ENABLED: bool = false;
+    #[inline(always)]
+    fn external_wake(&mut self, _node: u32) {}
+    #[inline(always)]
+    fn transmit(&mut self, _node: u32) {}
+    #[inline(always)]
+    fn deliver(&mut self, _listener: u32, _from: u32) {}
+    #[inline(always)]
+    fn collision(&mut self, _listener: u32) {}
+    #[inline(always)]
+    fn woken(&mut self, _listener: u32) {}
+    #[inline(always)]
+    fn dropped(&mut self, _listener: u32) {}
+    #[inline(always)]
+    fn jammed(&mut self, _listener: u32) {}
+    #[inline(always)]
+    fn crashed_listener(&mut self, _listener: u32) {}
+    #[inline(always)]
+    fn wakeup_suppressed(&mut self, _listener: u32) {}
+}
+
+impl DetailSink for RoundRecord {
+    const ENABLED: bool = true;
+    fn external_wake(&mut self, node: u32) {
+        self.external_wakes.push(node);
+    }
+    fn transmit(&mut self, node: u32) {
+        self.transmitters.push(node);
+    }
+    fn deliver(&mut self, listener: u32, from: u32) {
+        self.deliveries.push((listener, from));
+    }
+    fn collision(&mut self, listener: u32) {
+        self.collisions.push(listener);
+    }
+    fn woken(&mut self, listener: u32) {
+        self.woken.push(listener);
+    }
+    fn dropped(&mut self, listener: u32) {
+        self.dropped.push(listener);
+    }
+    fn jammed(&mut self, listener: u32) {
+        self.jammed.push(listener);
+    }
+    fn crashed_listener(&mut self, listener: u32) {
+        self.crashed.push(listener);
+    }
+    fn wakeup_suppressed(&mut self, listener: u32) {
+        self.wakeups_suppressed.push(listener);
+    }
+}
 
 /// A per-node protocol state machine driven by the [`Engine`].
 ///
@@ -98,6 +174,18 @@ pub struct Engine<N: Node, F: FaultModel = NoFaults> {
     jam_stamp: Vec<u64>,
     /// Scratch list the fault model's jam hook fills each round.
     jam_list: Vec<u32>,
+    /// Nodes woken via [`Engine::wake`] since the previous round; drained
+    /// into the detail record (when an observer opted in) so a model
+    /// checker can distinguish external wakes from radio wake-ups.
+    ext_wakes: Vec<u32>,
+    /// Reusable per-round detail buffer; filled only for observers with
+    /// [`Observer::DETAIL`] set.
+    detail: RoundRecord,
+    /// Test-only sabotage switch: deliver to listeners that heard two or
+    /// more transmitters, violating the collision axiom. Exists solely to
+    /// prove [`crate::verify::ModelChecker`] catches a broken engine.
+    #[cfg(test)]
+    pub(crate) force_deliver_on_collision: bool,
 }
 
 impl<N: Node> Engine<N> {
@@ -179,6 +267,10 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
             faults,
             jam_stamp: vec![u64::MAX; n],
             jam_list: Vec::new(),
+            ext_wakes: Vec::new(),
+            detail: RoundRecord::default(),
+            #[cfg(test)]
+            force_deliver_on_collision: false,
         })
     }
 
@@ -250,7 +342,20 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
     /// touched in phase 2 — per-round cost is O(awake + Σ deg(tx))
     /// rather than O(n · Δ).
     pub fn step(&mut self) -> RoundOutcome {
+        self.step_with(&mut NoDetail)
+    }
+
+    /// [`Engine::step`] with a detail sink. Every `sink` call sits behind
+    /// `if R::ENABLED`, so the [`NoDetail`] instantiation is bit- and
+    /// cost-identical to the pre-detail hot loop.
+    fn step_with<R: DetailSink>(&mut self, sink: &mut R) -> RoundOutcome {
         self.flush_dirty();
+        if R::ENABLED {
+            for idx in 0..self.ext_wakes.len() {
+                sink.external_wake(self.ext_wakes[idx]);
+            }
+        }
+        self.ext_wakes.clear();
         let round = self.round;
         let mut outcome = RoundOutcome {
             round,
@@ -283,6 +388,9 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
                 self.stats.bits_transmitted += msg.size_bits() as u64;
                 self.tx[i] = Some(msg);
                 self.tx_ids.push(self.awake_ids[idx]);
+                if R::ENABLED {
+                    sink.transmit(self.awake_ids[idx]);
+                }
             }
             // Polling can complete a node (e.g. a source that finishes
             // local work without ever receiving). Already-done nodes are
@@ -347,13 +455,23 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
                 if self.heard[v] == 1 {
                     fev.crashed_rx += 1;
                 }
+                if R::ENABLED {
+                    sink.crashed_listener(self.touched[idx]);
+                }
                 continue;
             }
             if F::ENABLED && self.jam_stamp[v] == round {
                 fev.jammed += 1;
+                if R::ENABLED {
+                    sink.jammed(self.touched[idx]);
+                }
                 continue;
             }
-            if self.heard[v] == 1 {
+            #[cfg(test)]
+            let unique_rx = self.heard[v] == 1 || self.force_deliver_on_collision;
+            #[cfg(not(test))]
+            let unique_rx = self.heard[v] == 1;
+            if unique_rx {
                 // Fault-model loss first, then the legacy `set_loss`
                 // noise. Both streams advance at the same sequence points
                 // as the pre-subsystem engine (ascending listener order),
@@ -365,12 +483,18 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
                 {
                     self.stats.dropped += 1;
                     fev.dropped += 1;
+                    if R::ENABLED {
+                        sink.dropped(self.touched[idx]);
+                    }
                     continue;
                 }
                 if let Some(loss) = &mut self.loss {
                     if loss.sample() {
                         self.stats.dropped += 1;
                         fev.dropped += 1;
+                        if R::ENABLED {
+                            sink.dropped(self.touched[idx]);
+                        }
                         continue;
                     }
                 }
@@ -380,21 +504,33 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
                 if !self.awake[v] {
                     if F::ENABLED && self.faults.corrupt_wakeup(round, v) {
                         fev.wakeups_suppressed += 1;
+                        if R::ENABLED {
+                            sink.wakeup_suppressed(self.touched[idx]);
+                        }
                         continue;
                     }
                     self.awake[v] = true;
                     self.awake_ids.push(self.touched[idx]);
                     self.stats.wakeups += 1;
+                    if R::ENABLED {
+                        sink.woken(self.touched[idx]);
+                    }
                 }
                 self.nodes[v].receive(round, msg);
                 outcome.receptions += 1;
                 self.stats.receptions += 1;
+                if R::ENABLED {
+                    sink.deliver(self.touched[idx], self.last_tx[v]);
+                }
                 if !self.done[v] {
                     self.refresh_done(v);
                 }
             } else {
                 outcome.collisions += 1;
                 self.stats.collisions += 1;
+                if R::ENABLED {
+                    sink.collision(self.touched[idx]);
+                }
             }
         }
         self.touched.clear();
@@ -446,9 +582,23 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
 
     /// Executes one round and reports it to `obs` — the round's channel
     /// events plus read-only access to every node state machine.
+    ///
+    /// If the observer opted in with [`Observer::DETAIL`], the round is
+    /// executed through a recording sink and the observer additionally
+    /// receives the per-listener [`crate::session::RoundDetail`] trace.
+    /// The branch is on a monomorphized constant, so non-detail
+    /// observers keep the bare hot loop.
     pub fn step_observed<O: Observer<N>>(&mut self, obs: &mut O) -> RoundOutcome {
         let wakeups_before = self.stats.wakeups;
-        let out = self.step();
+        let out = if O::DETAIL {
+            let mut rec = std::mem::take(&mut self.detail);
+            rec.clear();
+            let out = self.step_with(&mut rec);
+            self.detail = rec;
+            out
+        } else {
+            self.step()
+        };
         let events = RoundEvents {
             round: out.round,
             transmissions: out.transmissions,
@@ -459,6 +609,9 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
             faults: out.faults,
         };
         obs.on_round(&events, &self.nodes);
+        if O::DETAIL {
+            obs.on_round_detail(&self.detail.detail(out.round), &self.nodes);
+        }
         out
     }
 
@@ -570,8 +723,9 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
     pub fn wake(&mut self, id: NodeId) {
         if !self.awake[id.index()] {
             self.awake[id.index()] = true;
-            self.awake_ids
-                .push(u32::try_from(id.index()).expect("node count fits u32"));
+            let raw = u32::try_from(id.index()).expect("node count fits u32");
+            self.awake_ids.push(raw);
+            self.ext_wakes.push(raw);
             self.stats.wakeups += 1;
         }
     }

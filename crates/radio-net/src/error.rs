@@ -40,6 +40,16 @@ pub enum Error {
         /// Number of graph vertices.
         graph: usize,
     },
+    /// An online verification run (see [`crate::verify`]) found model or
+    /// invariant violations.
+    VerificationFailed {
+        /// Seed of the offending session, for reproduction.
+        seed: u64,
+        /// Total number of violations found.
+        count: usize,
+        /// The first violations, one per line.
+        details: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -58,6 +68,14 @@ impl fmt::Display for Error {
             Error::NodeCountMismatch { nodes, graph } => write!(
                 f,
                 "engine given {nodes} protocol nodes for a graph of {graph} vertices"
+            ),
+            Error::VerificationFailed {
+                seed,
+                count,
+                details,
+            } => write!(
+                f,
+                "verification found {count} violation(s) at seed {seed}:\n{details}"
             ),
         }
     }
@@ -80,6 +98,11 @@ mod tests {
             },
             Error::DisconnectedTopology { attempts: 5 },
             Error::NodeCountMismatch { nodes: 2, graph: 3 },
+            Error::VerificationFailed {
+                seed: 7,
+                count: 1,
+                details: "model: [round 3] sleeping node 2 transmitted".into(),
+            },
         ];
         for e in cases {
             let s = e.to_string();

@@ -36,6 +36,12 @@
 //! * [`rng`] — deterministic per-node random streams so every simulation is
 //!   reproducible from a single `u64` seed.
 //! * [`stats`] — transmission/reception/collision accounting.
+//! * [`verify`] — online model-conformance checking:
+//!   [`verify::ModelChecker`] re-derives every round from the graph and
+//!   transmit set and asserts the radio axioms above, via opt-in
+//!   per-listener round traces ([`session::RoundDetail`]). Zero-cost
+//!   when disabled — recording is gated on the monomorphized
+//!   [`session::Observer::DETAIL`] constant.
 //! * [`viz`] — degree statistics and GraphViz export for harness-side
 //!   inspection.
 //!
@@ -93,6 +99,7 @@ pub mod rng;
 pub mod session;
 pub mod stats;
 pub mod topology;
+pub mod verify;
 pub mod viz;
 
 pub use engine::{Engine, Node};
@@ -103,5 +110,6 @@ pub use faults::{
 };
 pub use graph::{Graph, NodeId};
 pub use message::MessageSize;
-pub use session::{NoopObserver, Observer, RoundEvents, SessionControl, SessionEnd};
+pub use session::{NoopObserver, Observer, RoundDetail, RoundEvents, SessionControl, SessionEnd};
 pub use stats::SimStats;
+pub use verify::{Check, ModelChecker, Verified, VerifyStack, Violation, ViolationLog};

@@ -40,6 +40,104 @@ pub struct RoundEvents {
     pub faults: FaultEvents,
 }
 
+/// The full per-listener event trace of one executed round, available
+/// to observers that opt in with [`Observer::DETAIL`].
+///
+/// Where [`RoundEvents`] aggregates counts, this names the nodes: which
+/// ids transmitted, which listener received from which transmitter, and
+/// which listeners were silenced and why. It is exactly the evidence a
+/// model checker needs to re-derive the round from the graph and the
+/// transmit set and confirm the engine obeyed the radio axioms.
+///
+/// All ids are raw node indices (`NodeId::index()` as `u32`). The five
+/// "silenced" lists ([`Self::collisions`], [`Self::dropped`],
+/// [`Self::jammed`], [`Self::crashed`], [`Self::wakeups_suppressed`])
+/// together with [`Self::deliveries`] partition the touched listeners:
+/// every non-transmitting listener adjacent to at least one transmitter
+/// appears in exactly one of them.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundDetail<'a> {
+    /// The round that was just executed.
+    pub round: u64,
+    /// Ids of this round's transmitters, in poll order (the engine's
+    /// awake-id list order: initially-awake ids ascending, then wakes in
+    /// wake order — not necessarily sorted).
+    pub transmitters: &'a [u32],
+    /// `(listener, transmitter)` per successful reception, in ascending
+    /// listener order. The transmitter is the listener's unique
+    /// transmitting neighbor this round.
+    pub deliveries: &'a [(u32, u32)],
+    /// Listeners that heard two or more transmitting neighbors (and,
+    /// lacking collision detection, perceived silence).
+    pub collisions: &'a [u32],
+    /// Previously sleeping listeners woken by a reception this round —
+    /// each also appears in [`Self::deliveries`].
+    pub woken: &'a [u32],
+    /// Nodes woken from outside the channel via
+    /// [`crate::engine::Engine::wake`] since the previous round. These
+    /// wakes precede the round: the node may already transmit in it.
+    pub external_wakes: &'a [u32],
+    /// Listeners whose sole reception was dropped by the fault model or
+    /// the legacy [`crate::engine::Engine::set_loss`] noise.
+    pub dropped: &'a [u32],
+    /// Listeners silenced by jamming (any number of transmitting
+    /// neighbors).
+    pub jammed: &'a [u32],
+    /// Crashed (fail-stop) listeners adjacent to a transmitter — deaf at
+    /// any heard count. Note [`FaultEvents::crashed_rx`] counts only the
+    /// subset that would otherwise have received (exactly one
+    /// transmitting neighbor).
+    pub crashed: &'a [u32],
+    /// Sleeping listeners whose would-be first reception was suppressed
+    /// by wake-up corruption (they stay asleep).
+    pub wakeups_suppressed: &'a [u32],
+}
+
+/// Reusable engine-side buffer behind [`RoundDetail`]: owns the lists,
+/// is cleared and refilled each detailed round, and never reallocates
+/// in steady state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RoundRecord {
+    pub(crate) transmitters: Vec<u32>,
+    pub(crate) deliveries: Vec<(u32, u32)>,
+    pub(crate) collisions: Vec<u32>,
+    pub(crate) woken: Vec<u32>,
+    pub(crate) external_wakes: Vec<u32>,
+    pub(crate) dropped: Vec<u32>,
+    pub(crate) jammed: Vec<u32>,
+    pub(crate) crashed: Vec<u32>,
+    pub(crate) wakeups_suppressed: Vec<u32>,
+}
+
+impl RoundRecord {
+    pub(crate) fn clear(&mut self) {
+        self.transmitters.clear();
+        self.deliveries.clear();
+        self.collisions.clear();
+        self.woken.clear();
+        self.external_wakes.clear();
+        self.dropped.clear();
+        self.jammed.clear();
+        self.crashed.clear();
+        self.wakeups_suppressed.clear();
+    }
+
+    pub(crate) fn detail(&self, round: u64) -> RoundDetail<'_> {
+        RoundDetail {
+            round,
+            transmitters: &self.transmitters,
+            deliveries: &self.deliveries,
+            collisions: &self.collisions,
+            woken: &self.woken,
+            external_wakes: &self.external_wakes,
+            dropped: &self.dropped,
+            jammed: &self.jammed,
+            crashed: &self.crashed,
+            wakeups_suppressed: &self.wakeups_suppressed,
+        }
+    }
+}
+
 /// A harness-side hook invoked by the engine after every round of a
 /// session.
 ///
@@ -49,9 +147,26 @@ pub struct RoundEvents {
 /// called for rounds executed outside a session (e.g. by a raw
 /// [`crate::engine::Engine::step`]).
 pub trait Observer<N: Node> {
+    /// Opts in to per-listener event traces: when `true`, the engine
+    /// records a [`RoundDetail`] for every round and delivers it via
+    /// [`Observer::on_round_detail`] right after [`Observer::on_round`].
+    ///
+    /// This is the same zero-cost gating pattern as
+    /// [`crate::faults::FaultModel::ENABLED`]: the recording hooks sit
+    /// behind `if DETAIL` on a monomorphized constant, so the default
+    /// `false` compiles the entire detail path out of the hot loop.
+    const DETAIL: bool = false;
+
     /// Called once after every executed round with that round's channel
     /// events and read-only access to all node state machines.
     fn on_round(&mut self, events: &RoundEvents, nodes: &[N]);
+
+    /// Called right after [`Observer::on_round`] with the round's full
+    /// per-listener trace — but only when [`Observer::DETAIL`] is
+    /// `true`; the default observer never sees this hook.
+    fn on_round_detail(&mut self, detail: &RoundDetail<'_>, nodes: &[N]) {
+        let _ = (detail, nodes);
+    }
 }
 
 /// The do-nothing observer: `on_round` is empty and inlines away, so a

@@ -26,6 +26,16 @@ KB_SCALE=quick KB_E17_OUT=target/E17_faults_smoke.json \
     exit 1
 }
 
+# Verify smoke: the quick E9/E13 configurations re-run with the online
+# verifiers on (KB_VERIFY=1 installs the ModelChecker + StageInvariants
+# stack and makes E13 score its Clopper-Pearson bound on verified
+# sessions). Any radio-axiom or stage-invariant violation turns into
+# Error::VerificationFailed with the offending seed and fails the run.
+KB_SCALE=quick KB_VERIFY=1 \
+    cargo run --release -q -p kbcast-bench --bin exp_e9_collection
+KB_SCALE=quick KB_VERIFY=1 \
+    cargo run --release -q -p kbcast-bench --bin exp_e13_whp
+
 # Engine-throughput regression gate (KB_SKIP_PERF=1 skips the ~1 min
 # benchmark, e.g. on loaded or throttled machines where wall-clock
 # numbers are meaningless).

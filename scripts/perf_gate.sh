@@ -4,11 +4,17 @@
 # grid64x64/single_source throughput drops more than 20% below the
 # committed baseline in results/BENCH_engine.json.
 #
-# perf_smoke drives Engine<_, NoFaults>, so holding this floor is also
-# the zero-cost proof for the fault subsystem: FaultModel::ENABLED is
-# false for NoFaults and every fault hook in the hot loop is behind
-# `if F::ENABLED`, so a clean engine must monomorphize to the
-# pre-fault-subsystem loop and keep its throughput.
+# perf_smoke drives Engine<_, NoFaults> with an Observer whose
+# DETAIL = false, so holding this floor is the zero-cost proof for two
+# opt-in subsystems at once:
+#   - faults: FaultModel::ENABLED is false for NoFaults and every fault
+#     hook in the hot loop is behind `if F::ENABLED`;
+#   - verification: the round-detail assembly the ModelChecker needs is
+#     behind `if O::DETAIL`, which only the VerifyStack observer sets.
+# A clean, unverified engine must therefore monomorphize to the
+# pre-subsystem loop and keep its throughput (the committed baseline is
+# ~7985 rounds/s on the reference machine; the gate allows 20% slack
+# for machine variance, not for instrumentation cost).
 set -eu
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,208 @@
+//! Fault × verifier conformance: the online model checker and stage
+//! invariants must accept every execution the engine can actually
+//! produce — clean, lossy, and under all six fault families — with
+//! zero violations. A false positive here would make `--verify`
+//! useless for experiments, so this suite is the checker's own
+//! regression net. All seeds are pinned; any failure reproduces
+//! bit-for-bit.
+
+use radio_kbcast::kbcast::baseline::BiiProtocol;
+use radio_kbcast::kbcast::dynamic::{Arrival, DynamicProtocol};
+use radio_kbcast::kbcast::runner::{CodedProtocol, RunOptions, Workload};
+use radio_kbcast::kbcast::session::{
+    run_protocol, run_protocol_on_graph, run_protocol_on_graph_with_faults,
+};
+use radio_kbcast::radio_net::error::Error;
+use radio_kbcast::radio_net::faults::FaultSpec;
+use radio_kbcast::radio_net::topology::Topology;
+
+fn verify_opts() -> RunOptions {
+    RunOptions {
+        verify: true,
+        ..RunOptions::default()
+    }
+}
+
+/// The six fault families of `radio_net::faults`, one representative
+/// spec each (mirrors E17's quick grid).
+const FAULT_FAMILIES: [&str; 6] = [
+    "none",
+    "uniform:rate=0.15",
+    "ge:p_bad=0.01,p_good=0.1,loss_good=0,loss_bad=0.9",
+    "crash:frac=0.25,from=0,until=2000,down=1000",
+    "jam:budget=200",
+    "wakeup:rate=0.5",
+];
+
+/// Runs one verified coded session under `spec`; the session may fail
+/// to deliver (faults can legitimately prevent completion) but the
+/// checkers must stay silent.
+fn run_coded_verified(spec: &str, seed: u64) {
+    let fault: FaultSpec = spec.parse().expect("family spec parses");
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    let graph = topo.build(seed).expect("topology builds");
+    let workload = Workload::random(16, 8, seed);
+    let faults = fault.build(16, seed).expect("family spec validates");
+    let result = run_protocol_on_graph_with_faults(
+        &CodedProtocol::default(),
+        graph,
+        &workload,
+        seed,
+        verify_opts(),
+        faults,
+    );
+    match result {
+        Ok(_) => {}
+        Err(Error::VerificationFailed { details, .. }) => {
+            panic!("checker false positive under '{spec}' seed {seed}:\n{details}")
+        }
+        Err(e) => panic!("session error under '{spec}' seed {seed}: {e}"),
+    }
+}
+
+#[test]
+fn model_checker_accepts_all_fault_families_coded() {
+    for spec in FAULT_FAMILIES {
+        for seed in 0..3 {
+            run_coded_verified(spec, seed);
+        }
+    }
+}
+
+#[test]
+fn model_checker_accepts_composed_faults() {
+    run_coded_verified("uniform:rate=0.05+crash:frac=0.1,from=0,until=1500", 1);
+    run_coded_verified("jam:budget=100+wakeup:rate=0.2", 2);
+}
+
+#[test]
+fn model_checker_accepts_legacy_loss_path() {
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    let workload = Workload::random(16, 8, 3);
+    let opts = RunOptions {
+        loss_rate: 0.1,
+        ..verify_opts()
+    };
+    run_protocol(&CodedProtocol::default(), &topo, &workload, 3, opts)
+        .expect("lossy verified run must not trip the checkers");
+}
+
+#[test]
+fn model_checker_accepts_bii_baseline() {
+    for spec in ["none", "uniform:rate=0.15", "jam:budget=200"] {
+        let fault: FaultSpec = spec.parse().expect("family spec parses");
+        let topo = Topology::Grid2d { rows: 4, cols: 4 };
+        let graph = topo.build(7).expect("topology builds");
+        let workload = Workload::random(16, 8, 7);
+        let faults = fault.build(16, 7).expect("family spec validates");
+        run_protocol_on_graph_with_faults(
+            &BiiProtocol::default(),
+            graph,
+            &workload,
+            7,
+            verify_opts(),
+            faults,
+        )
+        .unwrap_or_else(|e| panic!("BII verified run under '{spec}': {e}"));
+    }
+}
+
+/// Dynamic arrivals exercise the external-wake path of the model
+/// checker (`Engine::wake` between rounds must not be mistaken for a
+/// radio reception).
+#[test]
+fn model_checker_accepts_dynamic_external_wakes() {
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    let graph = topo.build(5).expect("topology builds");
+    let n = graph.len();
+    let mut arrivals: Vec<Arrival> = (0..3)
+        .map(|j| Arrival {
+            round: 0,
+            node: (j * 5) % n,
+            payload: vec![0, j as u8],
+        })
+        .collect();
+    arrivals.push(Arrival {
+        round: 1200,
+        node: 11,
+        payload: vec![1, 0],
+    });
+    let mut initial: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+    for a in &arrivals {
+        if a.round == 0 {
+            initial[a.node].push(a.payload.clone());
+        }
+    }
+    let workload = Workload::new(initial);
+    let protocol = DynamicProtocol {
+        arrivals: &arrivals,
+        config: None,
+        horizon: 150_000,
+    };
+    run_protocol_on_graph(&protocol, graph, &workload, 5, verify_opts())
+        .expect("dynamic verified run must not trip the model checker");
+}
+
+#[test]
+fn degenerate_k0_broadcast_verifies_trivially() {
+    let topo = Topology::Grid2d { rows: 3, cols: 3 };
+    let workload = Workload::new(vec![Vec::new(); 9]);
+    let report = run_protocol(
+        &CodedProtocol::default(),
+        &topo,
+        &workload,
+        0,
+        verify_opts(),
+    )
+    .expect("empty broadcast runs");
+    assert!(report.success);
+    assert_eq!(report.rounds_total, 0);
+}
+
+#[test]
+fn degenerate_k1_broadcast_verifies() {
+    let topo = Topology::Path { n: 5 };
+    let workload = Workload::single_source(5, 2, 1);
+    let report = run_protocol(
+        &CodedProtocol::default(),
+        &topo,
+        &workload,
+        4,
+        verify_opts(),
+    )
+    .expect("single-packet verified run");
+    assert!(report.success);
+    assert_eq!(report.k, 1);
+}
+
+/// Seed-pinned spot checks on larger random topologies: the exact
+/// configurations the E13 w.h.p. harness sweeps, frozen here so a
+/// checker or engine regression is caught by `cargo test` without
+/// running the experiment binaries.
+#[test]
+fn pinned_seeds_on_random_topologies_verify() {
+    for (topo, k, seed) in [
+        (Topology::Gnp { n: 64, p: 0.13 }, 32, 0),
+        (Topology::RandomTree { n: 32 }, 16, 1),
+        (Topology::UnitDisk { n: 32, radius: 0.4 }, 16, 2),
+    ] {
+        let workload = Workload::random(
+            match topo {
+                Topology::Gnp { n, .. }
+                | Topology::RandomTree { n }
+                | Topology::UnitDisk { n, .. } => n,
+                _ => unreachable!(),
+            },
+            k,
+            seed,
+        );
+        run_protocol(
+            &CodedProtocol::default(),
+            &topo,
+            &workload,
+            seed,
+            verify_opts(),
+        )
+        .unwrap_or_else(|e| panic!("pinned {topo} seed {seed}: {e}"));
+    }
+}
