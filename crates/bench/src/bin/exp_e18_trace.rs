@@ -1,0 +1,296 @@
+//! **E18 (extension) — traced stage breakdown of all three protocols.**
+//!
+//! Runs the paper's coded protocol, the BII baseline and the
+//! dynamic-arrival extension with [`kbcast::runner::RunOptions::trace`]
+//! turned on, and aggregates the per-round trace samples into a
+//! per-stage breakdown: rounds spent, transmissions, receptions,
+//! collisions and reception rate per stage, plus a per-packet
+//! amortized-round histogram across seeds. This supersedes the
+//! eyeballed stage table of E5 — the numbers here come from the
+//! engine's own round events, not from re-deriving stage boundaries
+//! offline.
+//!
+//! A structural self-check is asserted before anything is written: for
+//! every protocol the merged per-stage round totals must sum exactly to
+//! the merged total rounds (stages partition the run; nothing is
+//! counted twice or dropped).
+//!
+//! Output: a table to stdout and `results/E18_trace.json` (redirect
+//! with `KB_E18_OUT`). With `KB_TRACE=1` the binary additionally dumps
+//! the seed-0 coded run's raw artifacts: the JSONL event stream
+//! (`KB_E18_JSONL`, default `results/E18_trace.jsonl`) and the
+//! Chrome-trace span file (`KB_E18_CHROME`, default
+//! `results/E18_trace_chrome.json`) — load the latter in Perfetto /
+//! `chrome://tracing` to see the stage spans on a timeline.
+//! Deterministic in the fixed seed range: same binary, same scale,
+//! same JSON, bit for bit.
+
+use std::fmt::Write as _;
+
+use kbcast::baseline::BiiProtocol;
+use kbcast::dynamic::{Arrival, DynamicProtocol};
+use kbcast::runner::{CodedProtocol, RunOptions, Workload};
+use kbcast::session::{run_protocol_on_graph, SessionReport};
+use kbcast_bench::parallel::par_map_indexed;
+use kbcast_bench::session::{merge_traces, sweep_protocol, SweepSpec};
+use kbcast_bench::stats::median;
+use kbcast_bench::table::Table;
+use kbcast_bench::{trace_from_env, verify_from_env, Scale};
+use radio_net::topology::Topology;
+use radio_net::trace::TraceSummary;
+
+/// One protocol's traced sweep, reduced to what the table, the JSON
+/// and the self-check need.
+struct Entry {
+    protocol: &'static str,
+    summary: TraceSummary,
+    /// `rounds_total / packets` for each successful seed, seed order.
+    amortized: Vec<f64>,
+    /// Seed-0 per-stage closing gauge (coded: summed GF(2) rank).
+    stage_gauge: Vec<(String, Option<u64>)>,
+}
+
+fn reduce<M>(
+    protocol: &'static str,
+    reports: &[SessionReport<M>],
+    packets_per_run: usize,
+) -> Entry {
+    #[allow(clippy::cast_precision_loss)]
+    let amortized: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.success)
+        .map(|r| r.rounds_total as f64 / packets_per_run.max(1) as f64)
+        .collect();
+    let stage_gauge = reports
+        .first()
+        .and_then(|r| r.trace.as_ref())
+        .map(|t| {
+            t.stages
+                .iter()
+                .map(|s| (s.name.clone(), s.gauge_end))
+                .collect()
+        })
+        .unwrap_or_default();
+    Entry {
+        protocol,
+        summary: merge_traces(reports),
+        amortized,
+        stage_gauge,
+    }
+}
+
+/// The dynamic-arrival sweep injects packets mid-session, which a
+/// [`SweepSpec`] cannot express; fan the seeds out by hand (same shape
+/// as E17's dynamic sweep, with tracing on).
+fn sweep_dynamic(
+    topo: &Topology,
+    seeds: u64,
+    options: RunOptions,
+) -> Vec<SessionReport<kbcast::dynamic::DynamicMeta>> {
+    par_map_indexed(
+        usize::try_from(seeds).expect("seed count fits usize"),
+        |i| {
+            let seed = i as u64;
+            let graph = topo.build(seed).expect("topology builds");
+            let n = graph.len();
+            let mut arrivals: Vec<Arrival> = (0..4)
+                .map(|j| Arrival {
+                    round: 0,
+                    node: (j * 3) % n,
+                    payload: vec![0, j as u8],
+                })
+                .collect();
+            arrivals.extend((0..4).map(|j| Arrival {
+                round: 1500,
+                node: (j * 7 + 1) % n,
+                payload: vec![1, j as u8],
+            }));
+            let mut initial: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+            for a in &arrivals {
+                if a.round == 0 {
+                    initial[a.node].push(a.payload.clone());
+                }
+            }
+            let workload = Workload::new(initial);
+            let protocol = DynamicProtocol {
+                arrivals: &arrivals,
+                config: None,
+                horizon: 150_000,
+            };
+            run_protocol_on_graph(&protocol, graph, &workload, seed, options).expect("session runs")
+        },
+    )
+}
+
+/// Fixed-width ASCII histogram of the amortized rounds-per-packet
+/// values (deterministic: buckets derive only from the data).
+fn print_histogram(values: &[f64]) {
+    if values.is_empty() {
+        println!("    (no successful runs)");
+        return;
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min).floor();
+    let hi = values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .ceil()
+        .max(lo + 1.0);
+    const BUCKETS: usize = 6;
+    let width = (hi - lo) / BUCKETS as f64;
+    let mut counts = [0usize; BUCKETS];
+    for &v in values {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let b = (((v - lo) / width) as usize).min(BUCKETS - 1);
+        counts[b] += 1;
+    }
+    for (b, &c) in counts.iter().enumerate() {
+        #[allow(clippy::cast_precision_loss)]
+        let (a, z) = (lo + b as f64 * width, lo + (b + 1) as f64 * width);
+        println!("    [{a:8.1}, {z:8.1})  {:<12} {c}", "#".repeat(c.min(12)));
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seeds = scale.pick(2u64, 5);
+    let (topo, k) = if matches!(scale, Scale::Quick) {
+        (Topology::Grid2d { rows: 16, cols: 16 }, 16usize)
+    } else {
+        (Topology::Gnp { n: 64, p: 0.13 }, 64usize)
+    };
+    let options = RunOptions {
+        trace: true,
+        verify: verify_from_env(),
+        ..RunOptions::default()
+    };
+
+    println!("E18 (extension): traced per-stage breakdown (supersedes the eyeballed E5 table)");
+    println!("({topo}, k={k}, {seeds} seeds per protocol; trace ring cap 4096)");
+    println!();
+
+    let mut spec = SweepSpec::new(&topo, k, seeds);
+    spec.options = options;
+    let coded_reports = sweep_protocol(&CodedProtocol::default(), &spec);
+    let bii_reports = sweep_protocol(&BiiProtocol::default(), &spec);
+    let dynamic_reports = sweep_dynamic(&topo, seeds, options);
+
+    let entries = [
+        reduce("coded", &coded_reports, k),
+        reduce("bii", &bii_reports, k),
+        // The dynamic workload is 8 arrivals (4 at round 0, 4 late).
+        reduce("dynamic", &dynamic_reports, 8),
+    ];
+
+    // Self-check: the stage probe partitions every round into exactly
+    // one stage, so per-stage round totals must sum to total rounds.
+    for e in &entries {
+        let stage_rounds: u64 = e.summary.stages.iter().map(|s| s.rounds).sum();
+        assert_eq!(
+            stage_rounds, e.summary.rounds,
+            "{}: per-stage rounds must partition the run",
+            e.protocol
+        );
+    }
+
+    let mut t = Table::new(&[
+        "protocol",
+        "stage",
+        "rounds",
+        "share",
+        "tx",
+        "rx",
+        "collisions",
+        "rx/round",
+    ]);
+    for e in &entries {
+        for s in &e.summary.stages {
+            #[allow(clippy::cast_precision_loss)]
+            let share = s.rounds as f64 / e.summary.rounds.max(1) as f64;
+            #[allow(clippy::cast_precision_loss)]
+            let rx_rate = s.totals.receptions as f64 / s.rounds.max(1) as f64;
+            t.row(&[
+                e.protocol.to_string(),
+                s.name.clone(),
+                format!("{}", s.rounds),
+                format!("{:.0}%", share * 100.0),
+                format!("{}", s.totals.transmissions),
+                format!("{}", s.totals.receptions),
+                format!("{}", s.totals.collisions),
+                format!("{rx_rate:.2}"),
+            ]);
+        }
+    }
+    t.print();
+
+    println!();
+    println!("amortized rounds per packet (successful seeds):");
+    for e in &entries {
+        println!("  {} (median {:.1}):", e.protocol, median(&e.amortized));
+        print_histogram(&e.amortized);
+    }
+
+    // Deterministic JSON (no timestamps): the committed results file
+    // must be reproducible bit-for-bit from the fixed seed range.
+    let mut json_entries = Vec::new();
+    for e in &entries {
+        let mut j = String::new();
+        let amortized = e
+            .amortized
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let gauges = e
+            .stage_gauge
+            .iter()
+            .map(|(name, g)| {
+                format!(
+                    "{{\"stage\": \"{name}\", \"gauge_end\": {}}}",
+                    g.map_or_else(|| "null".to_string(), |v| v.to_string())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(
+            j,
+            "    {{\"protocol\": \"{}\", \"summary\": {}, \"median_amortized_rounds\": {:.2}, \
+             \"amortized_rounds_per_packet\": [{amortized}], \"stage_gauge_seed0\": [{gauges}]}}",
+            e.protocol,
+            e.summary.to_json(),
+            median(&e.amortized)
+        )
+        .expect("write to string");
+        json_entries.push(j);
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"E18_trace\",\n  \"topology\": \"{topo}\",\n  \"k\": {k},\n  \
+         \"seeds\": {seeds},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        json_entries.join(",\n")
+    );
+    let path = std::env::var("KB_E18_OUT").unwrap_or_else(|_| "results/E18_trace.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e} (printing instead)\n{json}"),
+    }
+
+    // Raw artifacts (seed-0 coded run) on request: the JSONL event
+    // stream for ad-hoc analysis and the Chrome-trace span file for
+    // Perfetto / chrome://tracing.
+    if trace_from_env() {
+        if let Some(trace) = coded_reports.first().and_then(|r| r.trace.as_ref()) {
+            let jsonl_path = std::env::var("KB_E18_JSONL")
+                .unwrap_or_else(|_| "results/E18_trace.jsonl".to_string());
+            match std::fs::write(&jsonl_path, trace.to_jsonl()) {
+                Ok(()) => println!("wrote {jsonl_path}"),
+                Err(e) => eprintln!("could not write {jsonl_path}: {e}"),
+            }
+            let chrome_path = std::env::var("KB_E18_CHROME")
+                .unwrap_or_else(|_| "results/E18_trace_chrome.json".to_string());
+            match std::fs::write(&chrome_path, trace.to_chrome_trace()) {
+                Ok(()) => println!("wrote {chrome_path}"),
+                Err(e) => eprintln!("could not write {chrome_path}: {e}"),
+            }
+        }
+    }
+}

@@ -55,6 +55,16 @@ pub fn verify_from_env() -> bool {
     std::env::var("KB_VERIFY").as_deref() == Ok("1")
 }
 
+/// Reads the `KB_TRACE` environment variable: `1` turns on structured
+/// round tracing ([`kbcast::runner::RunOptions::trace`]) in the
+/// experiment binaries that support it, and makes them dump the
+/// per-round JSONL event stream and the Chrome-trace span file next to
+/// their summary JSON (see `radio_net::trace`).
+#[must_use]
+pub fn trace_from_env() -> bool {
+    std::env::var("KB_TRACE").as_deref() == Ok("1")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,7 @@ use kbcast::session::{
 };
 use radio_net::faults::FaultSpec;
 use radio_net::topology::Topology;
+use radio_net::trace::TraceSummary;
 
 use crate::parallel::par_map_indexed;
 
@@ -126,6 +127,22 @@ where
             }
         }
     })
+}
+
+/// Folds the traces of a sweep into one [`TraceSummary`], merging in
+/// seed order — the reports come back seed-ordered regardless of the
+/// worker-thread count, so the merged summary (including its stage
+/// order) is `KBCAST_THREADS`-invariant. Reports without a trace
+/// (sweeps run without [`RunOptions::trace`]) contribute nothing.
+#[must_use]
+pub fn merge_traces<M>(reports: &[SessionReport<M>]) -> TraceSummary {
+    let mut merged = TraceSummary::default();
+    for r in reports {
+        if let Some(trace) = &r.trace {
+            merged.merge(&trace.summary());
+        }
+    }
+    merged
 }
 
 /// Successful reports of a sweep, in seed order.

@@ -291,6 +291,7 @@ mod tests {
             delivered_fraction: if success { 1.0 } else { 0.5 },
             stats: SimStats::new(),
             meta: (),
+            trace: None,
         }
     }
 

@@ -5,9 +5,9 @@
 //! the same faulted sweep body must agree on every report field.
 
 use kbcast::runner::{CodedProtocol, KbcastMeta, RunOptions, Workload};
-use kbcast::session::{run_protocol_on_graph_with_faults, SessionReport};
+use kbcast::session::{run_protocol_on_graph, run_protocol_on_graph_with_faults, SessionReport};
 use kbcast_bench::parallel::par_map_indexed_with;
-use kbcast_bench::session::{sweep_protocol, SweepSpec};
+use kbcast_bench::session::{merge_traces, sweep_protocol, SweepSpec};
 use radio_net::faults::FaultSpec;
 use radio_net::topology::Topology;
 
@@ -45,6 +45,64 @@ fn faulted_sweep_is_thread_count_invariant() {
         assert_eq!(a.stats, b.stats, "seed {seed}: stats");
         assert_eq!(a.meta, b.meta, "seed {seed}: meta");
     }
+}
+
+fn traced_seed_run(seed: u64) -> SessionReport<KbcastMeta> {
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    let graph = topo.build(seed).expect("topology builds");
+    let workload = Workload::random(graph.len(), 4, seed);
+    let options = RunOptions {
+        trace: true,
+        ..RunOptions::default()
+    };
+    run_protocol_on_graph(&CodedProtocol::default(), graph, &workload, seed, options)
+        .expect("session runs")
+}
+
+/// [`merge_traces`] folds per-seed summaries in report (= seed) order,
+/// so the merged [`radio_net::trace::TraceSummary`] — counters *and*
+/// stage order — must be identical for a 1-thread and a 4-thread
+/// fan-out of the same traced sweep.
+#[test]
+fn merged_trace_summary_is_thread_count_invariant() {
+    let serial = par_map_indexed_with(1, 6, |i| traced_seed_run(i as u64));
+    let fanned = par_map_indexed_with(4, 6, |i| traced_seed_run(i as u64));
+    let a = merge_traces(&serial);
+    let b = merge_traces(&fanned);
+    assert_eq!(a, b, "merged trace summaries must not depend on threads");
+    assert_eq!(a.to_json(), b.to_json(), "JSON rendering must agree too");
+    assert_eq!(a.runs, 6, "every traced seed contributes one run");
+    let stage_rounds: u64 = a.stages.iter().map(|s| s.rounds).sum();
+    assert_eq!(stage_rounds, a.rounds, "stages partition the merged rounds");
+}
+
+/// Merging is deterministic and order-sensitive in the documented way:
+/// re-merging the same reports gives the same summary, and the stage
+/// list follows first appearance across the merge sequence.
+#[test]
+fn merge_traces_is_deterministic() {
+    let reports = par_map_indexed_with(2, 4, |i| traced_seed_run(i as u64));
+    let once = merge_traces(&reports);
+    let twice = merge_traces(&reports);
+    assert_eq!(once, twice);
+    // An untraced sweep merges to the empty summary.
+    let untraced = par_map_indexed_with(2, 2, |i| {
+        let topo = Topology::Grid2d { rows: 4, cols: 4 };
+        let graph = topo.build(i as u64).expect("topology builds");
+        let workload = Workload::random(graph.len(), 4, i as u64);
+        run_protocol_on_graph(
+            &CodedProtocol::default(),
+            graph,
+            &workload,
+            i as u64,
+            RunOptions::default(),
+        )
+        .expect("session runs")
+    });
+    let empty = merge_traces(&untraced);
+    assert_eq!(empty.runs, 0);
+    assert_eq!(empty.rounds, 0);
+    assert!(empty.stages.is_empty());
 }
 
 #[test]

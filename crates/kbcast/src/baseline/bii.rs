@@ -21,9 +21,10 @@ use radio_net::engine::Node;
 use radio_net::graph::{Graph, NodeId};
 use radio_net::message::MessageSize;
 use radio_net::rng;
-use radio_net::session::{NoopObserver, SessionEnd};
+use radio_net::session::{NoopObserver, RoundEvents, SessionEnd};
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
+use radio_net::trace::{StageProbe, StageSample};
 use rand::rngs::SmallRng;
 
 use crate::packet::{Packet, PacketKey};
@@ -263,6 +264,24 @@ impl BiiProtocol {
     }
 }
 
+/// Stage probe for a BII session (see [`radio_net::trace`]): the
+/// algorithm has no stages — every round is epidemic flooding — so the
+/// whole run is one `"flood"` span, with the summed known-packet count
+/// across all nodes as the progress gauge (from `k` placed packets to
+/// `n·k` at completion).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BiiStageProbe;
+
+impl StageProbe<BiiNode> for BiiStageProbe {
+    fn sample(&mut self, _events: &RoundEvents, nodes: &[BiiNode]) -> StageSample {
+        let gauge: u64 = nodes.iter().map(|n| n.known_count() as u64).sum();
+        StageSample {
+            stage: std::borrow::Cow::Borrowed("flood"),
+            gauge: Some(gauge),
+        }
+    }
+}
+
 impl BroadcastProtocol for BiiProtocol {
     type Node = BiiNode;
     type Obs = NoopObserver;
@@ -302,6 +321,10 @@ impl BroadcastProtocol for BiiProtocol {
         let cfg = self.resolve(net);
         let epoch = Decay::new(cfg.delta_bound).epoch_len() as u64;
         8 * ((k as u64 + net.diameter as u64 + 2) * cfg.epochs_per_packet as u64 * epoch) + 64
+    }
+
+    fn trace_probe(&self, _net: &NetParams) -> Box<dyn StageProbe<BiiNode>> {
+        Box::new(BiiStageProbe)
     }
 
     fn delivered(&self, node: &BiiNode) -> Vec<PacketKey> {

@@ -26,9 +26,10 @@ use protocols::leader::{LeaderConfig, LeaderElection};
 use radio_net::engine::{Engine, Node};
 use radio_net::graph::NodeId;
 use radio_net::rng;
-use radio_net::session::{NoopObserver, SessionControl, SessionEnd};
+use radio_net::session::{NoopObserver, RoundEvents, SessionControl, SessionEnd};
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
+use radio_net::trace::{StageProbe, StageSample};
 use rand::rngs::SmallRng;
 
 use crate::config::Config;
@@ -539,6 +540,53 @@ pub struct DynamicMeta {
     pub latencies: Vec<u64>,
 }
 
+/// Stage probe for a [`DynamicProtocol`] session (see
+/// [`radio_net::trace`]): Stages 1–2 are labelled like the static
+/// protocol, and the batch loop yields one `batchN` stage per pipelined
+/// batch (tracked at the elected root, whose batch counter defines the
+/// global schedule). The gauge is the summed delivered-packet count
+/// across all nodes.
+#[derive(Debug)]
+pub struct DynamicStageProbe {
+    cfg: Config,
+    root: Option<usize>,
+    scanned: bool,
+}
+
+impl DynamicStageProbe {
+    /// A probe for a session configured with `cfg`.
+    #[must_use]
+    pub fn new(cfg: Config) -> Self {
+        DynamicStageProbe {
+            cfg,
+            root: None,
+            scanned: false,
+        }
+    }
+}
+
+impl StageProbe<DynamicNode> for DynamicStageProbe {
+    fn sample(&mut self, events: &RoundEvents, nodes: &[DynamicNode]) -> StageSample {
+        if !self.scanned && events.round >= self.cfg.stage1_rounds() {
+            self.root = nodes.iter().position(DynamicNode::is_root);
+            self.scanned = true;
+        }
+        let stage = if events.round < self.cfg.stage1_rounds() {
+            std::borrow::Cow::Borrowed("leader")
+        } else if events.round < self.cfg.stage3_start() {
+            std::borrow::Cow::Borrowed("bfs")
+        } else {
+            let batch = self.root.map_or(0, |r| nodes[r].batch());
+            std::borrow::Cow::Owned(format!("batch{batch}"))
+        };
+        let gauge: u64 = nodes.iter().map(|n| n.delivered_count() as u64).sum();
+        StageSample {
+            stage,
+            gauge: Some(gauge),
+        }
+    }
+}
+
 impl BroadcastProtocol for DynamicProtocol<'_> {
     type Node = DynamicNode;
     type Obs = NoopObserver;
@@ -580,6 +628,13 @@ impl BroadcastProtocol for DynamicProtocol<'_> {
 
     fn round_cap(&self, _net: &NetParams, _k: usize) -> u64 {
         self.horizon
+    }
+
+    fn trace_probe(&self, net: &NetParams) -> Box<dyn StageProbe<DynamicNode>> {
+        let cfg = self
+            .config
+            .unwrap_or_else(|| Config::for_network(net.n, net.diameter, net.max_degree));
+        Box::new(DynamicStageProbe::new(cfg))
     }
 
     fn expected_keys(&self, workload: &Workload) -> Vec<PacketKey> {

@@ -1,11 +1,14 @@
 //! End-to-end execution harness: build a network, place packets, run the
 //! protocol, verify delivery and report round counts.
 
+use std::borrow::Cow;
+
 use radio_net::graph::{Graph, NodeId};
 use radio_net::rng;
 use radio_net::session::{Observer, RoundEvents, SessionEnd};
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
+use radio_net::trace::{StageProbe, StageSample};
 
 use crate::config::Config;
 use crate::node::{KbcastNode, TxCounts};
@@ -212,6 +215,16 @@ pub struct RunOptions {
     /// seed. Off by default — and zero-cost then: detail recording is
     /// compiled out of the engine's hot loop.
     pub verify: bool,
+    /// Record a structured round trace (see [`radio_net::trace`]): the
+    /// driver tees the protocol's observer with a
+    /// [`radio_net::trace::TraceCollector`] fed by the protocol's
+    /// [`crate::session::BroadcastProtocol::trace_probe`], and the
+    /// report carries the frozen
+    /// [`radio_net::trace::TraceReport`] (per-stage metrics, span
+    /// timeline, ring-buffered samples, JSONL / Chrome-trace
+    /// exporters). Off by default — and zero-cost then: the untraced
+    /// driver path monomorphizes to the exact pre-trace session loop.
+    pub trace: bool,
 }
 
 impl RunOptions {
@@ -446,6 +459,68 @@ impl Observer<KbcastNode> for StageObserver {
     }
 }
 
+/// Stage probe for a [`CodedProtocol`] session (see
+/// [`radio_net::trace`]): attributes each round to the paper's four
+/// stages with the same root-scan logic as [`StageObserver`], and
+/// reports summed GF(2) decoder rank across all nodes as the
+/// protocol-progress gauge — the trace's rank-progress curve is the
+/// per-round view of Stage 4's decoding front.
+#[derive(Debug)]
+pub struct CodedStageProbe {
+    cfg: Config,
+    root: Option<usize>,
+    scanned: bool,
+    collect_end: Option<u64>,
+}
+
+impl CodedStageProbe {
+    /// A probe for a session configured with `cfg`.
+    #[must_use]
+    pub fn new(cfg: Config) -> Self {
+        CodedStageProbe {
+            cfg,
+            root: None,
+            scanned: false,
+            collect_end: None,
+        }
+    }
+}
+
+impl StageProbe<KbcastNode> for CodedStageProbe {
+    fn sample(&mut self, events: &RoundEvents, nodes: &[KbcastNode]) -> StageSample {
+        if !self.scanned && events.round >= self.cfg.stage1_rounds() {
+            self.root = nodes.iter().position(KbcastNode::is_root);
+            self.scanned = true;
+        }
+        if self.collect_end.is_none() {
+            if let Some(r) = self.root {
+                self.collect_end = nodes[r].collection_finished_at();
+            }
+        }
+        let stage = if events.round < self.cfg.stage1_rounds() {
+            "leader"
+        } else if events.round < self.cfg.stage3_start() {
+            "bfs"
+        } else if match self.collect_end {
+            None => true,
+            Some(c) => events.round < self.cfg.stage3_start() + c,
+        } {
+            "collect"
+        } else {
+            "disseminate"
+        };
+        let gauge: u64 = nodes
+            .iter()
+            .filter_map(KbcastNode::dissem_state)
+            .flat_map(|d| d.group_status().map(|g| g.rank as u64))
+            .sum();
+        StageSample {
+            stage: Cow::Borrowed(stage),
+            gauge: Some(gauge),
+        }
+    }
+}
+
 /// Completion metadata of a [`CodedProtocol`] session.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KbcastMeta {
@@ -510,6 +585,10 @@ impl BroadcastProtocol for CodedProtocol {
 
     fn round_cap(&self, net: &NetParams, k: usize) -> u64 {
         round_cap(&self.resolve(net), k)
+    }
+
+    fn trace_probe(&self, net: &NetParams) -> Box<dyn StageProbe<KbcastNode>> {
+        Box::new(CodedStageProbe::new(self.resolve(net)))
     }
 
     fn delivered(&self, node: &KbcastNode) -> Vec<crate::packet::PacketKey> {

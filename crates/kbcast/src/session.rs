@@ -32,6 +32,7 @@ use radio_net::graph::{Graph, NodeId};
 use radio_net::session::{Observer, SessionEnd};
 use radio_net::stats::SimStats;
 use radio_net::topology::Topology;
+use radio_net::trace::{SingleStage, StageProbe, TraceCollector, TraceReport, Traced};
 use radio_net::verify::{Check, ModelChecker, Verified, VerifyStack};
 
 use crate::packet::PacketKey;
@@ -123,6 +124,15 @@ pub trait BroadcastProtocol {
         engine.run_session(cap, obs)
     }
 
+    /// The stage probe labelling rounds for a structured trace (see
+    /// [`radio_net::trace`]), used when [`RunOptions::trace`] is set.
+    /// Defaults to a single `"run"` stage with no progress gauge;
+    /// protocols with meaningful phases override this.
+    fn trace_probe(&self, net: &NetParams) -> Box<dyn StageProbe<Self::Node>> {
+        let _ = net;
+        Box::new(SingleStage("run"))
+    }
+
     /// Protocol-level invariant checkers to run alongside the
     /// model-conformance checker under [`RunOptions::verify`].
     ///
@@ -167,6 +177,10 @@ pub struct SessionReport<M> {
     pub stats: SimStats,
     /// Protocol-specific completion metadata.
     pub meta: M,
+    /// The structured round trace, present iff [`RunOptions::trace`]
+    /// was set (boxed: a trace is much larger than the rest of the
+    /// report and most sessions run without one).
+    pub trace: Option<Box<TraceReport>>,
 }
 
 impl<M> SessionReport<M> {
@@ -284,6 +298,7 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
             delivered_fraction: 1.0,
             stats: SimStats::new(),
             meta: P::Meta::default(),
+            trace: None,
         });
     }
 
@@ -309,6 +324,17 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
         None
     };
 
+    // Under `--trace`, run a trace collector alongside the protocol's
+    // observer. The tee inherits the inner observer's `DETAIL` choice,
+    // so tracing alone never turns on the engine's recording path — and
+    // an untraced, unverified session takes the exact pre-existing
+    // monomorphization (bit-identical hot loop).
+    let mut tracer: Option<TraceCollector<P::Node>> = if options.trace {
+        Some(TraceCollector::new(protocol.trace_probe(&net)))
+    } else {
+        None
+    };
+
     let mut engine = Engine::with_faults(graph, nodes, awake, faults)?;
     if options.loss_rate > 0.0 {
         engine.set_loss(options.loss_rate, seed)?;
@@ -316,15 +342,33 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
     let cap = options
         .max_rounds
         .unwrap_or_else(|| protocol.round_cap(&net, k));
-    let end = match stack.as_mut() {
-        Some(stack) => {
+    let end = match (stack.as_mut(), tracer.as_mut()) {
+        (Some(stack), Some(collector)) => {
+            let mut verified = Verified {
+                inner: &mut obs,
+                stack,
+            };
+            let mut tee = Traced {
+                inner: &mut verified,
+                collector,
+            };
+            protocol.drive(&mut engine, cap, &mut tee)
+        }
+        (Some(stack), None) => {
             let mut tee = Verified {
                 inner: &mut obs,
                 stack,
             };
             protocol.drive(&mut engine, cap, &mut tee)
         }
-        None => protocol.drive(&mut engine, cap, &mut obs),
+        (None, Some(collector)) => {
+            let mut tee = Traced {
+                inner: &mut obs,
+                collector,
+            };
+            protocol.drive(&mut engine, cap, &mut tee)
+        }
+        (None, None) => protocol.drive(&mut engine, cap, &mut obs),
     };
 
     if let Some(stack) = stack.as_mut() {
@@ -360,6 +404,7 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
     }
 
     let meta = protocol.finish(obs, engine.nodes(), &end);
+    let trace = tracer.map(|collector| Box::new(collector.finish()));
 
     #[allow(clippy::cast_precision_loss)]
     Ok(SessionReport {
@@ -372,5 +417,6 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
         delivered_fraction: delivered_sum / n as f64,
         stats: *engine.stats(),
         meta,
+        trace,
     })
 }

@@ -36,6 +36,12 @@
 //! * [`rng`] — deterministic per-node random streams so every simulation is
 //!   reproducible from a single `u64` seed.
 //! * [`stats`] — transmission/reception/collision accounting.
+//! * [`trace`] — structured round tracing: [`trace::TraceCollector`]
+//!   records per-round counters into a bounded ring buffer, aggregates
+//!   them per protocol stage (via a [`trace::StageProbe`]) and exports
+//!   JSONL event streams, Chrome-trace span files and mergeable
+//!   [`trace::TraceSummary`] aggregates. Zero-cost when off — the
+//!   [`trace::Traced`] tee only exists on the opt-in path.
 //! * [`verify`] — online model-conformance checking:
 //!   [`verify::ModelChecker`] re-derives every round from the graph and
 //!   transmit set and asserts the radio axioms above, via opt-in
@@ -99,6 +105,7 @@ pub mod rng;
 pub mod session;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 pub mod verify;
 pub mod viz;
 
@@ -112,4 +119,8 @@ pub use graph::{Graph, NodeId};
 pub use message::MessageSize;
 pub use session::{NoopObserver, Observer, RoundDetail, RoundEvents, SessionControl, SessionEnd};
 pub use stats::SimStats;
+pub use trace::{
+    CounterTotals, StageProbe, StageSample, StageSummary, TraceCollector, TraceReport,
+    TraceSummary, Traced,
+};
 pub use verify::{Check, ModelChecker, Verified, VerifyStack, Violation, ViolationLog};

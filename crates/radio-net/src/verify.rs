@@ -148,8 +148,16 @@ pub struct ModelChecker {
     delivered_mark: Vec<u64>,
     /// `woken_mark[v] == gen` marks `v` as woken by reception.
     woken_mark: Vec<u64>,
+    /// `fault_mark[v] == gen` marks `v` as silenced by a fault (jam or
+    /// crash) this round — the two outcomes that can mask a collision.
+    fault_mark: Vec<u64>,
     /// Listeners adjacent to ≥1 transmitter, rebuilt per round.
     touched: Vec<u32>,
+    /// Collisions re-derived from the graph and transmit set alone
+    /// (touched non-transmitting listeners with ≥2 transmitting
+    /// neighbors and no fault silence), cumulated across rounds and
+    /// cross-checked against the engine's own per-round count.
+    derived_collisions: u64,
     /// Aggregate events stashed by `on_round` for cross-checking
     /// against the detailed trace.
     pending: Option<RoundEvents>,
@@ -182,7 +190,9 @@ impl ModelChecker {
             accounted: vec![0; n],
             delivered_mark: vec![0; n],
             woken_mark: vec![0; n],
+            fault_mark: vec![0; n],
             touched: Vec::new(),
+            derived_collisions: 0,
             pending: None,
             log: ViolationLog::default(),
         }
@@ -192,6 +202,18 @@ impl ModelChecker {
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.log.total() == 0
+    }
+
+    /// Total collisions the checker re-derived from the graph and the
+    /// transmit sets alone, independently of the engine's own
+    /// accounting: a touched, non-transmitting listener with two or
+    /// more transmitting neighbors and no fault silence (jam / crash)
+    /// must have lost exactly one reception to a collision. Checked
+    /// each round against the engine-reported collision list, so after
+    /// a clean run this equals `SimStats::collisions`.
+    #[must_use]
+    pub fn derived_collisions(&self) -> u64 {
+        self.derived_collisions
     }
 
     fn check_round(&mut self, d: &RoundDetail<'_>) {
@@ -342,6 +364,7 @@ impl ModelChecker {
                 continue;
             }
             self.account(round, l, "jam");
+            self.fault_mark[l as usize] = gen;
             if self.stamp[l as usize] != gen {
                 self.log.record(
                     round,
@@ -359,6 +382,7 @@ impl ModelChecker {
             }
             self.account(round, l, "crash silence");
             let li = l as usize;
+            self.fault_mark[li] = gen;
             if self.stamp[li] != gen {
                 self.log.record(
                     round,
@@ -410,12 +434,18 @@ impl ModelChecker {
 
         // Completeness: every touched, non-transmitting listener must
         // have exactly one recorded outcome. (Uniqueness was enforced
-        // by `account` as the lists were scanned.)
+        // by `account` as the lists were scanned.) The same pass
+        // re-derives the round's collision count from first principles:
+        // ≥2 transmitting neighbors and no fault silence ⇒ collision.
+        let mut round_derived = 0usize;
         for idx in 0..self.touched.len() {
             let v = self.touched[idx];
             let vi = v as usize;
             if self.tx_mark[vi] == gen {
                 continue;
+            }
+            if self.heard[vi] >= 2 && self.fault_mark[vi] != gen {
+                round_derived += 1;
             }
             if self.accounted[vi] != gen {
                 self.log.record(
@@ -426,6 +456,17 @@ impl ModelChecker {
                     ),
                 );
             }
+        }
+        self.derived_collisions += round_derived as u64;
+        if round_derived != d.collisions.len() {
+            self.log.record(
+                round,
+                format!(
+                    "collision conservation: derived {round_derived} collision(s) from the \
+                     transmit set but the engine reported {}",
+                    d.collisions.len()
+                ),
+            );
         }
 
         // Aggregate counters must agree with the trace: every faulted
@@ -749,6 +790,81 @@ mod tests {
         let mut stack: VerifyStack<Scripted> = VerifyStack::new();
         stack.push(Box::new(checker));
         (stack.total_violations(), stack.summary(8))
+    }
+
+    #[test]
+    fn derived_collisions_match_engine_stats_on_clean_run() {
+        // Dense ring with everyone shouting on overlapping schedules:
+        // plenty of collisions for the re-derivation to count.
+        let g = topology::cycle(6).unwrap();
+        let nodes = (0..6u32)
+            .map(|i| {
+                Scripted::new(
+                    (0..12)
+                        .map(|r| (r % 3 != u64::from(i) % 3).then_some(i))
+                        .collect(),
+                )
+            })
+            .collect::<Vec<_>>();
+        let awake = all_awake(6);
+        let mut checker = ModelChecker::new(g.clone(), awake.iter().copied());
+        let mut e = Engine::new(g, nodes, awake).unwrap();
+        // Drive the standalone checker through a hand-held tee so we
+        // can read `derived_collisions` afterwards (a VerifyStack boxes
+        // its checks away).
+        struct Tee<'c>(&'c mut ModelChecker);
+        impl Observer<Scripted> for Tee<'_> {
+            const DETAIL: bool = true;
+            fn on_round(&mut self, events: &RoundEvents, nodes: &[Scripted]) {
+                Check::on_round(self.0, events, nodes);
+            }
+            fn on_round_detail(&mut self, detail: &RoundDetail<'_>, nodes: &[Scripted]) {
+                Check::on_round_detail(self.0, detail, nodes);
+            }
+        }
+        let mut tee = Tee(&mut checker);
+        for _ in 0..12 {
+            e.step_observed(&mut tee);
+        }
+        assert!(
+            checker.is_clean(),
+            "{:?}",
+            Check::<Scripted>::violations(&checker)
+        );
+        assert!(e.stats().collisions > 0, "test must exercise collisions");
+        assert_eq!(checker.derived_collisions(), e.stats().collisions);
+    }
+
+    #[test]
+    fn fabricated_unreported_collision_is_caught() {
+        // Star: nodes 1 and 2 both transmit, hub 0 hears two — but the
+        // trace claims no collision happened anywhere.
+        let g = topology::star(3).unwrap();
+        let mut checker = ModelChecker::new(g, all_awake(3));
+        let nodes: [Scripted; 0] = [];
+        Check::<Scripted>::on_round_detail(
+            &mut checker,
+            &RoundDetail {
+                round: 0,
+                transmitters: &[1, 2],
+                deliveries: &[],
+                collisions: &[],
+                woken: &[],
+                external_wakes: &[],
+                dropped: &[],
+                jammed: &[],
+                crashed: &[],
+                wakeups_suppressed: &[],
+            },
+            &nodes,
+        );
+        let v = Check::<Scripted>::violations(&checker);
+        assert!(
+            v.iter()
+                .any(|v| v.message.contains("collision conservation")),
+            "{v:?}"
+        );
+        assert_eq!(checker.derived_collisions(), 1);
     }
 
     #[test]

@@ -36,6 +36,32 @@ KB_SCALE=quick KB_VERIFY=1 \
 KB_SCALE=quick KB_VERIFY=1 \
     cargo run --release -q -p kbcast-bench --bin exp_e13_whp
 
+# Trace smoke: the quick E18 configuration re-runs the three protocols
+# with round tracing on and must emit all three artifact forms — the
+# summary JSON (with its asserted stage-rounds-sum-to-total check), the
+# per-round JSONL event stream and the Chrome-trace span file. The
+# grep checks pin the schema markers the external consumers key on
+# (JSONL "type" discriminants; Chrome "ph" duration events).
+KB_SCALE=quick KB_TRACE=1 \
+    KB_E18_OUT=target/E18_trace_smoke.json \
+    KB_E18_JSONL=target/E18_trace_smoke.jsonl \
+    KB_E18_CHROME=target/E18_trace_smoke_chrome.json \
+    cargo run --release -q -p kbcast-bench --bin exp_e18_trace
+for marker in '"type": "meta"' '"type": "round"' '"type": "span"'; do
+    grep -q "$marker" target/E18_trace_smoke.jsonl || {
+        echo "check.sh: trace smoke JSONL lacks $marker" >&2
+        exit 1
+    }
+done
+grep -q '"ph": "X"' target/E18_trace_smoke_chrome.json || {
+    echo "check.sh: trace smoke Chrome file lacks duration spans" >&2
+    exit 1
+}
+grep -q '"per_stage"' target/E18_trace_smoke.json || {
+    echo "check.sh: trace smoke summary lacks a per-stage breakdown" >&2
+    exit 1
+}
+
 # Engine-throughput regression gate (KB_SKIP_PERF=1 skips the ~1 min
 # benchmark, e.g. on loaded or throttled machines where wall-clock
 # numbers are meaningless).

@@ -184,6 +184,7 @@ fn lossy_run_succeeds_on_small_grid() {
         loss_rate: 0.05,
         max_rounds: None,
         verify: false,
+        trace: false,
     };
     let r = run_with_options(&topo, &w, None, 0, opts).unwrap();
     assert!(r.success, "5% loss must be absorbed on a 4x4 grid");
@@ -203,6 +204,7 @@ fn invalid_loss_rate_is_rejected_up_front() {
             loss_rate: bad,
             max_rounds: None,
             verify: false,
+            trace: false,
         };
         let err = run_with_options(&topo, &w, None, 0, opts).unwrap_err();
         assert!(
@@ -220,6 +222,7 @@ fn zero_round_cap_is_rejected_up_front() {
         loss_rate: 0.0,
         max_rounds: Some(0),
         verify: false,
+        trace: false,
     };
     let err = run_with_options(&topo, &w, None, 0, opts).unwrap_err();
     assert!(matches!(err, Error::InvalidParameter { .. }));
@@ -233,6 +236,7 @@ fn round_cap_reports_truthful_failure() {
         loss_rate: 0.0,
         max_rounds: Some(10),
         verify: false,
+        trace: false,
     };
     let r = run_with_options(&topo, &w, None, 0, opts).unwrap();
     assert!(!r.success, "10 rounds cannot complete leader election");

@@ -1,0 +1,115 @@
+//! Property tests for the trace subsystem on random topologies.
+//!
+//! Two laws, checked against the engine's own accounting rather than
+//! against the trace's idea of itself:
+//!
+//! * **Counter conservation.** A traced session's [`CounterTotals`]
+//!   must equal the engine's [`SimStats`] on every shared counter. The
+//!   trace accumulates per-round [`radio_net::session::RoundEvents`];
+//!   the engine accumulates the same rounds internally. The coded
+//!   protocol never wakes nodes outside the round loop, so the two
+//!   bookkeepers see exactly the same events — any drift is a bug in
+//!   one of them. (The dynamic protocol's mid-session arrival wake-ups
+//!   happen *between* rounds, so its wakeup totals legitimately differ;
+//!   it is excluded by design.)
+//!
+//! * **Span well-formedness.** The stage spans must partition
+//!   `0..rounds` exactly: sorted, non-overlapping, contiguous, first
+//!   start 0, last end = rounds — the Chrome-trace file inherits its
+//!   timeline correctness from this. Likewise the per-stage round
+//!   totals must sum to the run's total rounds.
+//!
+//! Random graphs come from the in-repo proptest shim's structural
+//! [`proptest::graph::edge_list`] strategy — disconnected graphs are
+//! deliberately in scope (the session then fails at the round cap, and
+//! conservation must hold on the truncated run too).
+
+use proptest::prelude::*;
+use radio_kbcast::kbcast::runner::{CodedProtocol, RunOptions, Workload};
+use radio_kbcast::kbcast::session::run_protocol_on_graph;
+use radio_kbcast::radio_net::graph::Graph;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn trace_counters_equal_sim_stats_on_random_graphs(
+        topo in proptest::graph::edge_list(3..10),
+        seed in 0u64..1024,
+        k in 1usize..5,
+    ) {
+        let graph = Graph::from_edges(topo.n, topo.edges.clone()).expect("valid edges");
+        let w = Workload::random(topo.n, k, seed);
+        let options = RunOptions { trace: true, ..RunOptions::default() };
+        let r = run_protocol_on_graph(&CodedProtocol::default(), graph, &w, seed, options)
+            .expect("session runs");
+        let trace = r.trace.as_deref().expect("trace requested");
+        let t = &trace.totals;
+        let s = &r.stats;
+
+        prop_assert_eq!(trace.rounds, s.rounds, "rounds");
+        prop_assert_eq!(t.transmissions, s.transmissions, "transmissions");
+        prop_assert_eq!(t.receptions, s.receptions, "receptions");
+        prop_assert_eq!(t.collisions, s.collisions, "collisions");
+        prop_assert_eq!(t.wakeups, s.wakeups, "wakeups");
+        prop_assert_eq!(t.dropped, s.dropped, "dropped");
+        prop_assert_eq!(t.jammed, s.jammed, "jammed");
+        prop_assert_eq!(t.crashed_rx, s.crashed_rx, "crashed_rx");
+        prop_assert_eq!(t.wakeups_suppressed, s.wakeups_suppressed, "wakeups_suppressed");
+
+        // Per-stage totals must re-sum to the run totals: stages
+        // partition the rounds, so nothing is counted twice or lost.
+        let stage_rounds: u64 = trace.stages.iter().map(|st| st.rounds).sum();
+        prop_assert_eq!(stage_rounds, trace.rounds, "stage rounds partition the run");
+        let stage_tx: u64 = trace.stages.iter().map(|st| st.totals.transmissions).sum();
+        prop_assert_eq!(stage_tx, t.transmissions, "stage tx partition the run");
+        let stage_rx: u64 = trace.stages.iter().map(|st| st.totals.receptions).sum();
+        prop_assert_eq!(stage_rx, t.receptions, "stage rx partition the run");
+    }
+
+    #[test]
+    fn spans_partition_the_timeline(
+        topo in proptest::graph::edge_list(3..10),
+        seed in 0u64..1024,
+    ) {
+        let graph = Graph::from_edges(topo.n, topo.edges.clone()).expect("valid edges");
+        let w = Workload::random(topo.n, 3, seed);
+        let options = RunOptions { trace: true, ..RunOptions::default() };
+        let r = run_protocol_on_graph(&CodedProtocol::default(), graph, &w, seed, options)
+            .expect("session runs");
+        let trace = r.trace.as_deref().expect("trace requested");
+
+        prop_assert!(!trace.spans.is_empty(), "a nonzero run has at least one span");
+        prop_assert_eq!(trace.spans[0].start, 0, "first span starts at round 0");
+        prop_assert_eq!(
+            trace.spans.last().unwrap().end,
+            trace.rounds,
+            "last span ends at the final round"
+        );
+        for span in &trace.spans {
+            prop_assert!(span.start < span.end, "span {:?} is non-empty half-open", span);
+        }
+        for pair in trace.spans.windows(2) {
+            prop_assert_eq!(
+                pair[0].end, pair[1].start,
+                "spans are contiguous and non-overlapping: {:?} then {:?}",
+                &pair[0], &pair[1]
+            );
+        }
+
+        // The exported forms inherit the structure: every JSONL line is
+        // one object, and the Chrome trace is one JSON array.
+        let jsonl = trace.to_jsonl();
+        for line in jsonl.lines() {
+            prop_assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "JSONL line is a single object: {line}"
+            );
+        }
+        prop_assert!(jsonl.lines().next().is_some_and(|l| l.contains("\"type\": \"meta\"")));
+        let chrome = trace.to_chrome_trace();
+        let chrome = chrome.trim();
+        prop_assert!(chrome.starts_with('[') && chrome.ends_with(']'));
+        prop_assert!(chrome.contains("\"ph\": \"X\""), "chrome trace has duration spans");
+    }
+}
