@@ -175,6 +175,14 @@ impl BitVec {
         None
     }
 
+    /// The backing words, LSB-first (bit `i` of the vector is bit
+    /// `i % 64` of word `i / 64`). Bits beyond `len` in the last word
+    /// are zero.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -200,6 +208,19 @@ impl BitVec {
                 *last &= (1u64 << tail) - 1;
             }
         }
+    }
+}
+
+/// Calls `f` with `base + b` for every set bit `b` of `word`,
+/// ascending. The word-at-a-time idiom behind [`BitVec::iter_ones`],
+/// exported for callers that keep raw `u64` bit-planes (e.g. the
+/// word-parallel engine sets in `radio_net`) and want the iteration
+/// without the `BitVec` length invariants.
+#[inline]
+pub fn for_each_one(mut word: u64, base: usize, mut f: impl FnMut(usize)) {
+    while word != 0 {
+        f(base + word.trailing_zeros() as usize);
+        word &= word - 1;
     }
 }
 
@@ -304,6 +325,19 @@ mod tests {
             v.set(i, true);
         }
         assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![5, 64, 70, 199]);
+    }
+
+    #[test]
+    fn for_each_one_matches_iter_ones_per_word() {
+        let mut v = BitVec::zeros(200);
+        for i in [5, 64, 70, 199] {
+            v.set(i, true);
+        }
+        let mut got = Vec::new();
+        for (wi, &w) in v.words().iter().enumerate() {
+            for_each_one(w, wi * 64, |i| got.push(i));
+        }
+        assert_eq!(got, v.iter_ones().collect::<Vec<_>>());
     }
 
     #[test]

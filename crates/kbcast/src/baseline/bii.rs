@@ -159,7 +159,16 @@ impl Node for BiiNode {
             .then(|| self.known[cur].clone())
     }
 
-    fn receive(&mut self, _round: u64, msg: &Packet) {
+    fn receive(&mut self, round: u64, msg: &Packet) {
+        // A parked node skipped some per-poll `begin_epoch` calls; replay
+        // them before admitting the packet so the pick happens exactly as
+        // it would on an always-polling node (every skipped epoch had
+        // `current = None`, so one catch-up call is cumulative-equivalent).
+        // Nodes that have never polled keep `last_epoch = None` and with
+        // it their first-poll pick behavior.
+        if self.last_epoch.is_some() {
+            self.begin_epoch(self.decay.epoch_of(round));
+        }
         if self.known_keys.insert(msg.key) {
             self.known.push(msg.clone());
             self.epochs_done.push(0);
@@ -168,6 +177,26 @@ impl Node for BiiNode {
 
     fn is_done(&self) -> bool {
         self.target_k.is_some_and(|t| self.known.len() >= t)
+    }
+
+    /// Transmitting a packet this epoch → active every round. Idle but
+    /// holding untransmitted budget (a packet arrived after this
+    /// epoch's pick) → parked until the next epoch boundary, where
+    /// `begin_epoch` re-picks. All budgets exhausted → silent until a
+    /// reception, which voids the hint.
+    fn next_activity(&self, round: u64) -> u64 {
+        if self.current.is_some() {
+            return round + 1;
+        }
+        if self
+            .epochs_done
+            .iter()
+            .any(|&done| done < self.cfg.epochs_per_packet)
+        {
+            let epoch = self.decay.epoch_len() as u64;
+            return ((round / epoch) + 1) * epoch;
+        }
+        u64::MAX
     }
 }
 

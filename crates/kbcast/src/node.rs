@@ -353,6 +353,57 @@ impl radio_net::engine::Node for KbcastNode {
     fn is_done(&self) -> bool {
         self.has_all_packets()
     }
+
+    /// Delegates to the current stage's hint, translated to global
+    /// rounds and capped at the next stage boundary.
+    ///
+    /// The boundary caps are load-bearing, not cosmetic: the poll at
+    /// `s1_end` runs `ensure_bfs` (leader finalization and the root
+    /// scan) and the poll at `s2_end` creates the stage-3 state with
+    /// `created_local = 0` — a node parked across either boundary
+    /// would build divergent stage state on its next event. Stage 3
+    /// needs no cap because its hints already target the mandatory
+    /// phase-boundary polls where `advance` decides the finish, and
+    /// the stage-3→4 hand-off happens inside the same poll that
+    /// observes the finish.
+    fn next_activity(&self, round: u64) -> u64 {
+        let cap = |stage_start: u64, hint: u64| {
+            if hint == u64::MAX {
+                u64::MAX
+            } else {
+                stage_start.saturating_add(hint)
+            }
+        };
+        if round < self.s1_end() {
+            return self.leader.next_activity(round).min(self.s1_end());
+        }
+        if round < self.s2_end() {
+            let hint = self
+                .bfs
+                .as_ref()
+                .map_or(u64::MAX, |b| b.next_activity(round - self.s1_end()));
+            return cap(self.s1_end(), hint).min(self.s2_end());
+        }
+        match self.s4_start {
+            None => {
+                let hint = self
+                    .collect
+                    .as_ref()
+                    .map_or(round + 1, |c| c.next_activity(round - self.s2_end()));
+                cap(self.s2_end(), hint)
+            }
+            Some(s4) => {
+                if round < s4 {
+                    return s4;
+                }
+                let hint = self
+                    .dissem
+                    .as_ref()
+                    .map_or(round + 1, |d| d.next_activity(round - s4));
+                cap(s4, hint)
+            }
+        }
+    }
 }
 
 impl KbcastNode {

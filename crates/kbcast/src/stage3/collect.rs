@@ -244,6 +244,45 @@ impl CollectState {
         }
     }
 
+    /// Earliest future stage-local round at which [`CollectState::poll`]
+    /// may act again (see `radio_net::engine::Node::next_activity`).
+    /// Call right after `poll(local)` so `advance` has run.
+    ///
+    /// A node with anything to send — the root (ack schedule), pending
+    /// relay slots, unacked own packets (launch slots, alarm
+    /// initiation) — or one relaying a heard alarm stays active every
+    /// round. A quiet node only has two mandatory polls per phase: the
+    /// alarm-window start (where `poll_alarm` arms the window — the
+    /// finish decision depends on it) and the next phase start (where
+    /// `advance` finalizes). Its skipped `poll_grab` rounds draw no
+    /// randomness (launch slots are drawn for unacked packets only)
+    /// and transmit nothing; receptions void the hint and the
+    /// bookkeeping catch-up in `advance`/`poll_grab` replays
+    /// deterministically at the next poll.
+    #[must_use]
+    pub fn next_activity(&self, local: u64) -> u64 {
+        if self.finished.is_some() {
+            return u64::MAX;
+        }
+        if self.is_root
+            || self.relay_data.is_some()
+            || self.relay_ack.is_some()
+            || self.has_unacked()
+        {
+            return local + 1;
+        }
+        let pl = local - self.phase_start;
+        if pl < self.grab_len {
+            return self.phase_start + self.grab_len;
+        }
+        if self.alarm_armed != Some(self.phase) || self.heard_alarm {
+            // Not yet armed (defensive; post-poll this cannot happen)
+            // or relaying the alarm epidemic: active every round.
+            return local + 1;
+        }
+        self.phase_start + self.phase_len
+    }
+
     fn poll_grab(&mut self, pl: u64, rng: &mut impl Rng) -> Option<Msg> {
         // Fast path: a non-root node with no packets of its own and no
         // pending relay can never transmit in the grabbing epoch, and

@@ -289,6 +289,75 @@ impl DissemState {
         Some(self.coded_msg(jj, coeffs, payload, size, len))
     }
 
+    /// Earliest future stage-local round at which [`DissemState::poll`]
+    /// may act again (see `radio_net::engine::Node::next_activity`).
+    ///
+    /// The root transmits raw members on a fixed schedule (no
+    /// randomness): active while a send phase has members left, then
+    /// parked to the next send-phase start, silent forever after the
+    /// last group. A ring node transmits only in the phases offset by
+    /// its BFS distance, and only for groups it has fully decoded:
+    /// active inside such a phase (decay draws every round), parked to
+    /// the next eligible phase with a decoded group otherwise, and
+    /// parked indefinitely when nothing is decoded — a reception voids
+    /// the hint, and decoding only happens in `deliver`.
+    #[must_use]
+    pub fn next_activity(&self, local: u64) -> u64 {
+        let phase_len = self.cfg.forward_phase_rounds();
+        let phase = local / phase_len;
+        let within = local % phase_len;
+        if self.is_root {
+            let Some(g) = self.g else {
+                return u64::MAX;
+            };
+            let g = u64::from(g);
+            if phase.is_multiple_of(self.cfg.group_spacing) {
+                let j = phase / self.cfg.group_spacing;
+                if j < g {
+                    let group = &self.groups[usize::try_from(j).expect("group index fits")];
+                    if within + 1 < group.len() as u64 {
+                        return local + 1;
+                    }
+                }
+            }
+            let jnext = phase / self.cfg.group_spacing + 1;
+            if jnext >= g {
+                return u64::MAX;
+            }
+            return jnext * self.cfg.group_spacing * phase_len;
+        }
+        let (Some(d), Some(g)) = (self.dist, self.g) else {
+            return u64::MAX;
+        };
+        let (d, g) = (u64::from(d), u64::from(g));
+        if d == 0 {
+            return u64::MAX;
+        }
+        let ready = |j: u64| {
+            self.rx
+                .get(usize::try_from(j).expect("group index fits"))
+                .and_then(Option::as_ref)
+                .is_some_and(|rx| rx.ready.is_some())
+        };
+        if phase >= d && (phase - d).is_multiple_of(self.cfg.group_spacing) {
+            let j = (phase - d) / self.cfg.group_spacing;
+            if j < g && ready(j) {
+                return local + 1;
+            }
+        }
+        let start_j = if phase < d {
+            0
+        } else {
+            (phase - d) / self.cfg.group_spacing + 1
+        };
+        for j in start_j..g {
+            if ready(j) {
+                return (d + j * self.cfg.group_spacing) * phase_len;
+            }
+        }
+        u64::MAX
+    }
+
     fn coded_msg(
         &self,
         group: u32,

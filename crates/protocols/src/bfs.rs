@@ -103,6 +103,33 @@ impl BfsBuild {
         })
     }
 
+    /// Earliest future local round at which [`BfsBuild::poll`] may act
+    /// again (see `radio_net::engine::Node::next_activity`). A node
+    /// only ever transmits during the one phase equal to its distance
+    /// label: unlabelled → silent until a reception; phase still ahead
+    /// → parked until that phase starts; phase passed (or out of
+    /// `d_bound`) → silent forever. Labels are permanent (the first
+    /// announcement wins), so the hint can only be voided early by a
+    /// reception, which the engine handles.
+    #[must_use]
+    pub fn next_activity(&self, local_round: u64) -> u64 {
+        let Some(label) = self.label else {
+            return u64::MAX;
+        };
+        let dist = u64::from(label.dist);
+        if dist >= self.cfg.d_bound as u64 {
+            return u64::MAX;
+        }
+        let phase = local_round / self.cfg.phase_rounds;
+        if phase < dist {
+            return dist * self.cfg.phase_rounds;
+        }
+        if phase == dist {
+            return local_round + 1;
+        }
+        u64::MAX
+    }
+
     /// Handles a received announcement; the first one labels the node.
     pub fn deliver(&mut self, _local_round: u64, msg: &BfsMsg) {
         if self.label.is_none() {

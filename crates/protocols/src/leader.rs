@@ -175,6 +175,30 @@ impl LeaderElection {
             .then_some(ProbeMsg { iter: self.window })
     }
 
+    /// Earliest future local round at which [`LeaderElection::poll`]
+    /// may act again (see `radio_net::engine::Node::next_activity`).
+    /// Call right after `poll(local_round)` so the window state is
+    /// synced.
+    ///
+    /// An informed relay transmits by decay every round of the current
+    /// window; an uninformed candidate is silent until the next window
+    /// is armed (`sync` replays the skipped window bookkeeping
+    /// deterministically at that poll); an uninformed non-candidate can
+    /// only be activated by a reception, which voids the hint.
+    #[must_use]
+    pub fn next_activity(&self, local_round: u64) -> u64 {
+        if self.window >= self.cfg.id_bits {
+            return u64::MAX;
+        }
+        if self.relay.is_informed() {
+            return local_round + 1;
+        }
+        if self.candidate {
+            return u64::from(self.window + 1) * self.cfg.window_rounds;
+        }
+        u64::MAX
+    }
+
     /// Handles a received probe flood.
     pub fn deliver(&mut self, local_round: u64, msg: &ProbeMsg) {
         self.sync(local_round);

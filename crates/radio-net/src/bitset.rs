@@ -1,0 +1,231 @@
+//! Word-parallel node sets for the engine core.
+//!
+//! The engine keeps its per-round node sets (pollable nodes, this
+//! round's transmitters, touched listeners) as `u64` bit-planes in the
+//! same LSB-first layout as [`gf2::bitvec::BitVec`]: node `i` is bit
+//! `i % 64` of word `i / 64`. Unlike `BitVec`, the containers here do
+//! not carry a length invariant on every operation — the engine masks
+//! tails itself where it matters and relies on round-stamped lazy
+//! clearing for scratch planes — so this module only provides the one
+//! structure that needs real bookkeeping: the two-level [`ActiveSet`].
+
+use gf2::bitvec::for_each_one;
+
+/// Number of `u64` words needed for `n` bits.
+#[must_use]
+pub fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// A two-level bitset over node ids supporting O(1) insert/remove and
+/// ascending iteration that skips empty regions wholesale.
+///
+/// Level 0 is one bit per node; level 1 (the summary) is one bit per
+/// level-0 word, set iff that word is non-zero. Iterating the set costs
+/// O(non-empty words) rather than O(n/64), which is what makes a
+/// million-node network with a few hundred active nodes cheap to poll.
+///
+/// The engine iterates via [`ActiveSet::summary_word`] /
+/// [`ActiveSet::word`] with per-word snapshots, so removing the element
+/// currently being visited (parking a node mid-poll-phase) is safe;
+/// insertions during iteration are not observed until the next
+/// snapshot, which the engine never relies on (wakes happen in a later
+/// phase than polls).
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    words: Vec<u64>,
+    summary: Vec<u64>,
+    len: usize,
+}
+
+impl ActiveSet {
+    /// An empty set with capacity for ids `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let w = words_for(n);
+        ActiveSet {
+            words: vec![0; w],
+            summary: vec![0; words_for(w)],
+            len: 0,
+        }
+    }
+
+    /// Number of elements currently in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of capacity.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Inserts `i`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of capacity.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let wi = i / 64;
+        let bit = 1u64 << (i % 64);
+        if self.words[wi] & bit != 0 {
+            return false;
+        }
+        self.words[wi] |= bit;
+        self.summary[wi / 64] |= 1u64 << (wi % 64);
+        self.len += 1;
+        true
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of capacity.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let wi = i / 64;
+        let bit = 1u64 << (i % 64);
+        if self.words[wi] & bit == 0 {
+            return false;
+        }
+        self.words[wi] &= !bit;
+        if self.words[wi] == 0 {
+            self.summary[wi / 64] &= !(1u64 << (wi % 64));
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Number of summary words (the outer loop bound for iteration).
+    #[must_use]
+    pub fn summary_words(&self) -> usize {
+        self.summary.len()
+    }
+
+    /// The `swi`-th summary word: bit `w` set iff level-0 word
+    /// `swi * 64 + w` is non-empty.
+    #[must_use]
+    pub fn summary_word(&self, swi: usize) -> u64 {
+        self.summary[swi]
+    }
+
+    /// The `wi`-th level-0 word.
+    #[must_use]
+    pub fn word(&self, wi: usize) -> u64 {
+        self.words[wi]
+    }
+
+    /// Calls `f` for every element, ascending (convenience wrapper over
+    /// the snapshot iteration; the engine inlines the two loops itself
+    /// because its closure needs `&mut` engine state).
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        for swi in 0..self.summary.len() {
+            for_each_one(self.summary[swi], swi * 64, |wi| {
+                for_each_one(self.words[wi], wi * 64, &mut f);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut s = ActiveSet::new(200);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        assert!(!s.insert(64), "double insert reports absent");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(1));
+        assert!(s.remove(63));
+        assert!(!s.remove(63), "double remove reports absent");
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(63));
+    }
+
+    #[test]
+    fn iterates_ascending_across_word_boundaries() {
+        let mut s = ActiveSet::new(4096 + 17);
+        let ids = [0usize, 1, 63, 64, 65, 127, 128, 4000, 4096 + 16];
+        for &i in ids.iter().rev() {
+            s.insert(i);
+        }
+        let mut got = Vec::new();
+        s.for_each(|i| got.push(i));
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn summary_tracks_emptied_words() {
+        let mut s = ActiveSet::new(130);
+        s.insert(70);
+        s.insert(71);
+        assert_eq!(s.summary_word(0) & (1 << 1), 1 << 1);
+        s.remove(70);
+        assert_eq!(s.summary_word(0) & (1 << 1), 1 << 1, "71 still there");
+        s.remove(71);
+        assert_eq!(s.summary_word(0) & (1 << 1), 0, "word 1 emptied");
+        let mut got = Vec::new();
+        s.for_each(|i| got.push(i));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn capacity_not_multiple_of_64() {
+        // The classic tail bug: an id in the last partial word must be
+        // tracked exactly like any other.
+        let mut s = ActiveSet::new(70);
+        assert!(s.insert(69));
+        assert!(s.contains(69));
+        let mut got = Vec::new();
+        s.for_each(|i| got.push(i));
+        assert_eq!(got, vec![69]);
+        assert!(s.remove(69));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn removal_during_snapshot_iteration_is_safe() {
+        // Mimic the engine's phase-1 pattern: snapshot each word, remove
+        // the visited element (self-parking) while iterating.
+        let mut s = ActiveSet::new(300);
+        for i in [3usize, 64, 66, 150, 299] {
+            s.insert(i);
+        }
+        let mut visited = Vec::new();
+        for swi in 0..s.summary_words() {
+            let mut sw = s.summary_word(swi);
+            while sw != 0 {
+                let wi = swi * 64 + sw.trailing_zeros() as usize;
+                sw &= sw - 1;
+                let mut w = s.word(wi);
+                while w != 0 {
+                    let i = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    visited.push(i);
+                    s.remove(i);
+                }
+            }
+        }
+        assert_eq!(visited, vec![3, 64, 66, 150, 299]);
+        assert!(s.is_empty());
+    }
+}

@@ -6,6 +6,10 @@
 //! a protocol node sees exactly `(its own state, the round number, its own
 //! receptions)` and nothing else.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::bitset::{words_for, ActiveSet};
 use crate::error::Error;
 use crate::faults::{ChannelView, FaultEvents, FaultModel, NoFaults, UniformLoss};
 use crate::graph::{Graph, NodeId};
@@ -120,6 +124,28 @@ pub trait Node {
     fn is_done(&self) -> bool {
         false
     }
+
+    /// The earliest future round at which this node may act again —
+    /// the engine's permission to skip polls ("parking").
+    ///
+    /// Called right after [`Node::poll`]`(round)` on an awake node. A
+    /// return of `next > round + 1` promises that every poll at a
+    /// round `r` with `round < r < next` would return `None`, draw no
+    /// randomness and cause no externally visible state change
+    /// (including [`Node::is_done`]); the engine then skips those
+    /// polls wholesale and resumes at `next`. Returning `u64::MAX`
+    /// parks the node indefinitely.
+    ///
+    /// A successful [`Node::receive`] — or harness mutation via
+    /// [`Engine::node_mut`] — invalidates the promise: the engine
+    /// resumes polling such a node from the next round, and asks for a
+    /// fresh hint after that poll.
+    ///
+    /// The default (`round + 1`, never park) is always correct: a
+    /// parked execution must be bit-identical to a never-parked one.
+    fn next_activity(&self, round: u64) -> u64 {
+        round + 1
+    }
 }
 
 /// Synchronous radio-network simulator.
@@ -136,22 +162,44 @@ pub struct Engine<N: Node, F: FaultModel = NoFaults> {
     graph: Graph,
     nodes: Vec<N>,
     awake: Vec<bool>,
-    /// Ids of awake nodes; phase 1 polls exactly this list, so sleeping
-    /// nodes cost nothing per round. Grows monotonically (wake-ups append;
-    /// nodes never go back to sleep).
-    awake_ids: Vec<u32>,
+    /// Awake nodes that are not parked: exactly the set phase 1 polls,
+    /// iterated word-parallel (empty 64-node blocks cost one summary
+    /// bit test). Wake-ups insert; parking (see [`Node::next_activity`])
+    /// removes; nodes never go back to sleep.
+    active: ActiveSet,
+    /// Per-node parking state: 0 when active, otherwise the round at
+    /// which the node's activity hint expires (`u64::MAX` = parked until
+    /// a reception or harness event). Guards stale [`Engine::timers`]
+    /// entries: an entry fires only if it still matches this value.
+    parked_until: Vec<u64>,
+    /// Pending hint expirations `(round, node)`, drained at the top of
+    /// each round. Finite hints get an entry; `u64::MAX` parks don't
+    /// (they end only via reception / [`Engine::node_mut`]).
+    timers: BinaryHeap<Reverse<(u64, u32)>>,
     round: u64,
     stats: SimStats,
     // Reused per-round scratch space.
     tx: Vec<Option<N::Msg>>,
     /// This round's transmitters; also tells the next round which `tx`
-    /// slots to clear, so idle slots are never rewritten.
+    /// slots (and `tx_mask` words) to clear, so idle slots are never
+    /// rewritten.
     tx_ids: Vec<u32>,
-    /// Listeners adjacent to at least one transmitter this round; phase 3
-    /// iterates this (sorted) instead of scanning all nodes.
-    touched: Vec<u32>,
-    stamp: Vec<u64>,
-    heard: Vec<u32>,
+    /// Transmitter bitmask (bit `i%64` of word `i/64`), the word-level
+    /// mirror of `tx_ids`: phase 3 masks transmitters out of a whole
+    /// 64-listener block at once (half-duplex).
+    tx_mask: Vec<u64>,
+    /// Saturating two-bit per-listener counters as a pair of bit-planes:
+    /// `ones` = heard ≥ 1 transmitter, `twos` = heard ≥ 2 (collision).
+    /// Valid only for words whose `word_stamp` equals the current round;
+    /// stale words are reset lazily when first touched.
+    ones: Vec<u64>,
+    twos: Vec<u64>,
+    /// Per-word round stamp for `ones`/`twos` (the word-level version of
+    /// the classic stamp trick: no O(n/64) clearing per round).
+    word_stamp: Vec<u64>,
+    /// Indices of words touched by phase 2 this round; phase 3 iterates
+    /// this (sorted) instead of scanning all words.
+    touched_words: Vec<u32>,
     last_tx: Vec<u32>,
     /// Cached `is_done` per node plus a count, maintained incrementally
     /// after every poll/receive so [`Engine::run_until_all_done`] never
@@ -241,24 +289,32 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
             }
             awake[id.index()] = true;
         }
-        let awake_ids = (0..n)
-            .filter(|&i| awake[i])
-            .map(|i| u32::try_from(i).expect("node count fits u32"))
-            .collect();
+        let _ = u32::try_from(n).expect("node count fits u32");
+        let mut active = ActiveSet::new(n);
+        for (i, &a) in awake.iter().enumerate() {
+            if a {
+                active.insert(i);
+            }
+        }
         let done: Vec<bool> = nodes.iter().map(Node::is_done).collect();
         let done_count = done.iter().filter(|&&d| d).count();
+        let nw = words_for(n);
         Ok(Engine {
             graph,
             nodes,
             awake,
-            awake_ids,
+            active,
+            parked_until: vec![0; n],
+            timers: BinaryHeap::new(),
             round: 0,
             stats: SimStats::new(),
             tx: (0..n).map(|_| None).collect(),
             tx_ids: Vec::new(),
-            touched: Vec::new(),
-            stamp: vec![u64::MAX; n],
-            heard: vec![0; n],
+            tx_mask: vec![0; nw],
+            ones: vec![0; nw],
+            twos: vec![0; nw],
+            word_stamp: vec![u64::MAX; nw],
+            touched_words: Vec::new(),
             last_tx: vec![0; n],
             done,
             done_count,
@@ -287,10 +343,27 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
         }
     }
 
-    /// Refreshes the done flags of nodes mutated via [`Engine::node_mut`].
+    /// Refreshes the done flags of nodes mutated via [`Engine::node_mut`]
+    /// and cancels their parking (the harness may have changed state the
+    /// activity hint was based on).
     fn flush_dirty(&mut self) {
         while let Some(i) = self.dirty.pop() {
-            self.refresh_done(i as usize);
+            let i = i as usize;
+            self.refresh_done(i);
+            self.unpark(i);
+        }
+    }
+
+    /// Returns node `i` to the pollable set if it was parked. Its stale
+    /// timer entry (if any) is left in the heap; the `parked_until`
+    /// match on expiry makes it a no-op.
+    #[inline]
+    fn unpark(&mut self, i: usize) {
+        if self.parked_until[i] != 0 {
+            self.parked_until[i] = 0;
+            if self.awake[i] {
+                self.active.insert(i);
+            }
         }
     }
 
@@ -337,10 +410,12 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
     /// Executes one synchronous round and returns its outcome.
     ///
     /// Each phase touches only the nodes that matter: phase 1 polls the
-    /// awake-id list (sleepers cost nothing), phase 2 walks transmitter
-    /// neighborhoods, and phase 3 visits only listeners recorded as
-    /// touched in phase 2 — per-round cost is O(awake + Σ deg(tx))
-    /// rather than O(n · Δ).
+    /// active set (sleepers and parked nodes cost nothing — see
+    /// [`Node::next_activity`]), phase 2 walks transmitter
+    /// neighborhoods accumulating word-parallel two-bit counters, and
+    /// phase 3 visits only the 64-listener words touched in phase 2,
+    /// counting collisions by popcount — per-round cost is
+    /// O(active + Σ deg(tx)) rather than O(n · Δ).
     pub fn step(&mut self) -> RoundOutcome {
         self.step_with(&mut NoDetail)
     }
@@ -366,56 +441,107 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
             self.faults.begin_round(round, &mut fev);
         }
 
-        // Clear the previous round's transmissions (only slots that were
-        // actually written; idle slots are already `None`).
+        // Expired activity hints: return parked nodes to the pollable
+        // set before phase 1. Entries whose `parked_until` no longer
+        // matches are stale (the node was unparked by a reception or
+        // `node_mut` and possibly re-parked since) and are dropped.
+        while let Some(&Reverse((when, id))) = self.timers.peek() {
+            if when > round {
+                break;
+            }
+            self.timers.pop();
+            let i = id as usize;
+            if self.parked_until[i] == when {
+                self.parked_until[i] = 0;
+                if self.awake[i] {
+                    self.active.insert(i);
+                }
+            }
+        }
+
+        // Clear the previous round's transmissions (only slots and mask
+        // words that were actually written; idle ones are already zero).
         for idx in 0..self.tx_ids.len() {
-            self.tx[self.tx_ids[idx] as usize] = None;
+            let t = self.tx_ids[idx] as usize;
+            self.tx[t] = None;
+            self.tx_mask[t / 64] = 0;
         }
         self.tx_ids.clear();
 
-        // Phase 1: collect transmissions from awake nodes. `awake_ids`
-        // only grows in phase 3, so plain index iteration is safe here.
-        // Crashed nodes are fail-stop: not polled (so they cannot
-        // transmit), state retained for recovery.
-        for idx in 0..self.awake_ids.len() {
-            let i = self.awake_ids[idx] as usize;
-            if F::ENABLED && self.faults.is_crashed(i) {
-                continue;
-            }
-            if let Some(msg) = self.nodes[i].poll(round) {
-                outcome.transmissions += 1;
-                self.stats.transmissions += 1;
-                self.stats.bits_transmitted += msg.size_bits() as u64;
-                self.tx[i] = Some(msg);
-                self.tx_ids.push(self.awake_ids[idx]);
-                if R::ENABLED {
-                    sink.transmit(self.awake_ids[idx]);
+        // Phase 1: collect transmissions from active nodes, ascending.
+        // The two-level bitset iteration snapshots each word, so parking
+        // the node being visited is safe; insertions (wakes) only happen
+        // in phase 3. Crashed nodes are fail-stop: not polled (so they
+        // cannot transmit), state retained for recovery, never parked
+        // (the hint contract requires a preceding poll).
+        for swi in 0..self.active.summary_words() {
+            let mut sw = self.active.summary_word(swi);
+            while sw != 0 {
+                let wi = (swi << 6) + sw.trailing_zeros() as usize;
+                sw &= sw - 1;
+                let base = wi << 6;
+                let mut aw = self.active.word(wi);
+                while aw != 0 {
+                    let b = aw.trailing_zeros() as usize;
+                    aw &= aw - 1;
+                    let i = base + b;
+                    if F::ENABLED && self.faults.is_crashed(i) {
+                        continue;
+                    }
+                    #[allow(clippy::cast_possible_truncation)]
+                    let raw = i as u32; // node count fits u32 (checked at construction)
+                    if let Some(msg) = self.nodes[i].poll(round) {
+                        outcome.transmissions += 1;
+                        self.stats.transmissions += 1;
+                        self.stats.bits_transmitted += msg.size_bits() as u64;
+                        self.tx[i] = Some(msg);
+                        self.tx_ids.push(raw);
+                        self.tx_mask[wi] |= 1u64 << b;
+                        if R::ENABLED {
+                            sink.transmit(raw);
+                        }
+                    }
+                    // Polling can complete a node (e.g. a source that
+                    // finishes local work without ever receiving).
+                    // Already-done nodes are not re-checked: completion
+                    // is stable under poll/receive (see
+                    // [`Node::is_done`]); harness mutation that could
+                    // undo it goes through `node_mut`, which marks the
+                    // node dirty.
+                    if !self.done[i] {
+                        self.refresh_done(i);
+                    }
+                    let next = self.nodes[i].next_activity(round);
+                    if next > round + 1 {
+                        self.parked_until[i] = next;
+                        self.active.remove(i);
+                        if next != u64::MAX {
+                            self.timers.push(Reverse((next, raw)));
+                        }
+                    }
                 }
-            }
-            // Polling can complete a node (e.g. a source that finishes
-            // local work without ever receiving). Already-done nodes are
-            // not re-checked: completion is stable under poll/receive
-            // (see [`Node::is_done`]); harness mutation that could undo
-            // it goes through `node_mut`, which marks the node dirty.
-            if !self.done[i] {
-                self.refresh_done(i);
             }
         }
 
-        // Phase 2: per listener, count transmitting neighbors. The stamp
-        // trick confines work to the neighborhoods of transmitters and
-        // records each touched listener exactly once.
-        let stamp_val = round;
+        // Phase 2: word-parallel neighbor counting. Per touched listener
+        // word, `ones`/`twos` form a saturating two-bit accumulator
+        // (heard ≥ 1 / heard ≥ 2); the word-level stamp trick confines
+        // both the lazy reset and phase 3 to transmitter neighborhoods.
         for idx in 0..self.tx_ids.len() {
             let t = self.tx_ids[idx];
             for &v in self.graph.neighbors(NodeId::new(t as usize)) {
                 let vi = v.index();
-                if self.stamp[vi] != stamp_val {
-                    self.stamp[vi] = stamp_val;
-                    self.heard[vi] = 0;
-                    self.touched.push(v.index() as u32);
+                let wi = vi / 64;
+                let bit = 1u64 << (vi % 64);
+                if self.word_stamp[wi] != round {
+                    self.word_stamp[wi] = round;
+                    self.ones[wi] = 0;
+                    self.twos[wi] = 0;
+                    #[allow(clippy::cast_possible_truncation)]
+                    self.touched_words.push(wi as u32);
                 }
-                self.heard[vi] += 1;
+                self.twos[wi] |= self.ones[wi] & bit;
+                self.ones[wi] |= bit;
                 self.last_tx[vi] = t;
             }
         }
@@ -438,102 +564,156 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
         }
 
         // Phase 3: deliver to touched listeners with exactly one
-        // transmitting neighbor; transmitters hear nothing (half-duplex);
-        // sleeping nodes wake on their first reception. Sorting keeps
-        // visiting order (and hence loss-RNG draws and wake order)
-        // identical to a full ascending scan.
-        self.touched.sort_unstable();
-        for idx in 0..self.touched.len() {
-            let v = self.touched[idx] as usize;
-            if self.tx[v].is_some() {
+        // transmitting neighbor; transmitters hear nothing (half-duplex,
+        // a whole-word mask); sleeping nodes wake on their first
+        // reception. Words are visited in sorted order and bits LSB
+        // first, so the visiting order (and hence loss-RNG draws and
+        // wake order) is identical to a full ascending scan.
+        self.touched_words.sort_unstable();
+        #[cfg(test)]
+        let force_deliver = self.force_deliver_on_collision;
+        #[cfg(not(test))]
+        let force_deliver = false;
+        // The bare word-parallel path: collisions are counted with one
+        // popcount per word and only unique receivers are visited
+        // per-bit. Anything that needs per-listener decisions or events
+        // — fault hooks, loss RNG draws (whose order anchors
+        // bit-identity), detail sinks, the test sabotage switch — takes
+        // the per-bit slow path instead. Both constants monomorphize.
+        let word_fast = !F::ENABLED && !R::ENABLED && self.loss.is_none() && !force_deliver;
+        for widx in 0..self.touched_words.len() {
+            let wi = self.touched_words[widx] as usize;
+            let base = wi << 6;
+            let listeners = self.ones[wi] & !self.tx_mask[wi];
+            if listeners == 0 {
                 continue;
             }
-            // A crashed listener is deaf (and cannot be woken); a jammed
-            // one hears noise. Neither registers as a collision — to the
-            // node both are indistinguishable from silence anyway.
-            if F::ENABLED && self.faults.is_crashed(v) {
-                if self.heard[v] == 1 {
-                    fev.crashed_rx += 1;
-                }
-                if R::ENABLED {
-                    sink.crashed_listener(self.touched[idx]);
+            if word_fast {
+                let ncoll = (listeners & self.twos[wi]).count_ones();
+                outcome.collisions += ncoll as usize;
+                self.stats.collisions += u64::from(ncoll);
+                let mut uniq = listeners & !self.twos[wi];
+                while uniq != 0 {
+                    let v = base + uniq.trailing_zeros() as usize;
+                    uniq &= uniq - 1;
+                    if !self.awake[v] {
+                        self.awake[v] = true;
+                        self.active.insert(v);
+                        self.stats.wakeups += 1;
+                    } else {
+                        self.unpark(v);
+                    }
+                    let t = self.last_tx[v] as usize;
+                    // `tx[t]` is Some by construction of `last_tx`.
+                    let msg = self.tx[t].as_ref().expect("recorded transmitter sent");
+                    self.nodes[v].receive(round, msg);
+                    outcome.receptions += 1;
+                    self.stats.receptions += 1;
+                    if !self.done[v] {
+                        self.refresh_done(v);
+                    }
                 }
                 continue;
             }
-            if F::ENABLED && self.jam_stamp[v] == round {
-                fev.jammed += 1;
-                if R::ENABLED {
-                    sink.jammed(self.touched[idx]);
-                }
-                continue;
-            }
-            #[cfg(test)]
-            let unique_rx = self.heard[v] == 1 || self.force_deliver_on_collision;
-            #[cfg(not(test))]
-            let unique_rx = self.heard[v] == 1;
-            if unique_rx {
-                // Fault-model loss first, then the legacy `set_loss`
-                // noise. Both streams advance at the same sequence points
-                // as the pre-subsystem engine (ascending listener order),
-                // keeping fixed-seed runs bit-identical.
-                if F::ENABLED
-                    && self
-                        .faults
-                        .drop_delivery(round, self.last_tx[v] as usize, v)
-                {
-                    self.stats.dropped += 1;
-                    fev.dropped += 1;
+            let mut rest = listeners;
+            while rest != 0 {
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let v = base + b;
+                let vbit = 1u64 << b;
+                #[allow(clippy::cast_possible_truncation)]
+                let v32 = v as u32;
+                // A crashed listener is deaf (and cannot be woken); a
+                // jammed one hears noise. Neither registers as a
+                // collision — to the node both are indistinguishable
+                // from silence anyway.
+                if F::ENABLED && self.faults.is_crashed(v) {
+                    if self.twos[wi] & vbit == 0 {
+                        fev.crashed_rx += 1;
+                    }
                     if R::ENABLED {
-                        sink.dropped(self.touched[idx]);
+                        sink.crashed_listener(v32);
                     }
                     continue;
                 }
-                if let Some(loss) = &mut self.loss {
-                    if loss.sample() {
+                if F::ENABLED && self.jam_stamp[v] == round {
+                    fev.jammed += 1;
+                    if R::ENABLED {
+                        sink.jammed(v32);
+                    }
+                    continue;
+                }
+                let unique_rx = self.twos[wi] & vbit == 0 || force_deliver;
+                if unique_rx {
+                    // Fault-model loss first, then the legacy `set_loss`
+                    // noise. Both streams advance at the same sequence
+                    // points as the pre-subsystem engine (ascending
+                    // listener order), keeping fixed-seed runs
+                    // bit-identical.
+                    if F::ENABLED
+                        && self
+                            .faults
+                            .drop_delivery(round, self.last_tx[v] as usize, v)
+                    {
                         self.stats.dropped += 1;
                         fev.dropped += 1;
                         if R::ENABLED {
-                            sink.dropped(self.touched[idx]);
+                            sink.dropped(v32);
                         }
                         continue;
                     }
-                }
-                let t = self.last_tx[v] as usize;
-                // `tx[t]` is Some by construction of `last_tx`.
-                let msg = self.tx[t].as_ref().expect("recorded transmitter sent");
-                if !self.awake[v] {
-                    if F::ENABLED && self.faults.corrupt_wakeup(round, v) {
-                        fev.wakeups_suppressed += 1;
+                    if let Some(loss) = &mut self.loss {
+                        if loss.sample() {
+                            self.stats.dropped += 1;
+                            fev.dropped += 1;
+                            if R::ENABLED {
+                                sink.dropped(v32);
+                            }
+                            continue;
+                        }
+                    }
+                    if !self.awake[v] {
+                        if F::ENABLED && self.faults.corrupt_wakeup(round, v) {
+                            fev.wakeups_suppressed += 1;
+                            if R::ENABLED {
+                                sink.wakeup_suppressed(v32);
+                            }
+                            continue;
+                        }
+                        self.awake[v] = true;
+                        self.active.insert(v);
+                        self.stats.wakeups += 1;
                         if R::ENABLED {
-                            sink.wakeup_suppressed(self.touched[idx]);
+                            sink.woken(v32);
                         }
-                        continue;
+                    } else {
+                        // A dropped/jammed delivery leaves a parked
+                        // node parked (its state is untouched); only an
+                        // actual reception voids the activity hint.
+                        self.unpark(v);
                     }
-                    self.awake[v] = true;
-                    self.awake_ids.push(self.touched[idx]);
-                    self.stats.wakeups += 1;
+                    let t = self.last_tx[v] as usize;
+                    // `tx[t]` is Some by construction of `last_tx`.
+                    let msg = self.tx[t].as_ref().expect("recorded transmitter sent");
+                    self.nodes[v].receive(round, msg);
+                    outcome.receptions += 1;
+                    self.stats.receptions += 1;
                     if R::ENABLED {
-                        sink.woken(self.touched[idx]);
+                        sink.deliver(v32, self.last_tx[v]);
                     }
-                }
-                self.nodes[v].receive(round, msg);
-                outcome.receptions += 1;
-                self.stats.receptions += 1;
-                if R::ENABLED {
-                    sink.deliver(self.touched[idx], self.last_tx[v]);
-                }
-                if !self.done[v] {
-                    self.refresh_done(v);
-                }
-            } else {
-                outcome.collisions += 1;
-                self.stats.collisions += 1;
-                if R::ENABLED {
-                    sink.collision(self.touched[idx]);
+                    if !self.done[v] {
+                        self.refresh_done(v);
+                    }
+                } else {
+                    outcome.collisions += 1;
+                    self.stats.collisions += 1;
+                    if R::ENABLED {
+                        sink.collision(v32);
+                    }
                 }
             }
         }
-        self.touched.clear();
+        self.touched_words.clear();
 
         if F::ENABLED {
             self.stats.jammed += fev.jammed as u64;
@@ -724,7 +904,7 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
         if !self.awake[id.index()] {
             self.awake[id.index()] = true;
             let raw = u32::try_from(id.index()).expect("node count fits u32");
-            self.awake_ids.push(raw);
+            self.active.insert(id.index());
             self.ext_wakes.push(raw);
             self.stats.wakeups += 1;
         }

@@ -96,6 +96,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod engine;
 pub mod error;
 pub mod faults;

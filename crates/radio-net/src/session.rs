@@ -59,9 +59,9 @@ pub struct RoundEvents {
 pub struct RoundDetail<'a> {
     /// The round that was just executed.
     pub round: u64,
-    /// Ids of this round's transmitters, in poll order (the engine's
-    /// awake-id list order: initially-awake ids ascending, then wakes in
-    /// wake order — not necessarily sorted).
+    /// Ids of this round's transmitters, in poll order (the engine
+    /// polls its active set in ascending id order, so this list is
+    /// sorted).
     pub transmitters: &'a [u32],
     /// `(listener, transmitter)` per successful reception, in ascending
     /// listener order. The transmitter is the listener's unique

@@ -115,22 +115,11 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<Graph, Error> {
         return Err(invalid("unit disk requires radius > 0"));
     }
     let mut rng = rng::stream(seed, salts::TOPOLOGY);
-    let r2 = radius * radius;
     for _ in 0..MAX_ATTEMPTS {
         let pts: Vec<(f64, f64)> = (0..n)
             .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
             .collect();
-        let mut edges = Vec::new();
-        for i in 0..n {
-            for j in i + 1..n {
-                let dx = pts[i].0 - pts[j].0;
-                let dy = pts[i].1 - pts[j].1;
-                if dx * dx + dy * dy <= r2 {
-                    edges.push((i, j));
-                }
-            }
-        }
-        let g = Graph::from_edges(n, edges)?;
+        let g = Graph::from_edges(n, unit_disk_edges(&pts, radius))?;
         if g.is_connected() {
             return Ok(g);
         }
@@ -138,6 +127,59 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<Graph, Error> {
     Err(Error::DisconnectedTopology {
         attempts: MAX_ATTEMPTS,
     })
+}
+
+/// All pairs of `pts` at Euclidean distance ≤ `radius`, found via a
+/// uniform bucket grid: with cell side ≥ `radius`, any qualifying pair
+/// lies in the same or adjacent cells, so only the 3×3 neighborhood of
+/// each point is scanned — `O(n · occupancy)` instead of the `O(n²)`
+/// all-pairs loop, which is what makes million-node unit-disk graphs
+/// buildable. Emission order is arbitrary; [`Graph::from_edges`] sorts
+/// and dedups globally, so the resulting graph is identical to the
+/// all-pairs scan's.
+fn unit_disk_edges(pts: &[(f64, f64)], radius: f64) -> Vec<(usize, usize)> {
+    let n = pts.len();
+    let r2 = radius * radius;
+    // Cell side = 1/cells ≥ radius keeps the 3×3 scan sufficient; the
+    // √n cap bounds the grid to O(n) cells when the radius is tiny
+    // relative to the point count.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let cells = {
+        #[allow(clippy::cast_precision_loss)]
+        let cap = (n as f64).sqrt() as usize + 1;
+        ((1.0 / radius) as usize).clamp(1, cap)
+    };
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let idx = u32::try_from(i).expect("point index fits u32");
+        buckets[cell_of(y) * cells + cell_of(x)].push(idx);
+    }
+    let mut edges = Vec::new();
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for ny in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+            for nx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                for &j32 in &buckets[ny * cells + nx] {
+                    let j = j32 as usize;
+                    if j <= i {
+                        continue;
+                    }
+                    let dx = x - pts[j].0;
+                    let dy = y - pts[j].1;
+                    if dx * dx + dy * dy <= r2 {
+                        edges.push((i, j));
+                    }
+                }
+            }
+        }
+    }
+    edges
 }
 
 /// Random `d`-regular graph via the configuration model with random
@@ -267,6 +309,30 @@ mod tests {
         let g = unit_disk(48, 0.35, 3).unwrap();
         assert!(g.is_connected());
         assert_eq!(g, unit_disk(48, 0.35, 3).unwrap());
+    }
+
+    #[test]
+    fn unit_disk_grid_matches_all_pairs_scan() {
+        let mut rng = rng::stream(9, salts::TOPOLOGY);
+        for &(n, radius) in &[(40usize, 0.35), (64, 0.12), (33, 1.5), (7, 0.02)] {
+            let pts: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+                .collect();
+            let r2 = radius * radius;
+            let mut naive = Vec::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    let dx = pts[i].0 - pts[j].0;
+                    let dy = pts[i].1 - pts[j].1;
+                    if dx * dx + dy * dy <= r2 {
+                        naive.push((i, j));
+                    }
+                }
+            }
+            let mut grid = unit_disk_edges(&pts, radius);
+            grid.sort_unstable();
+            assert_eq!(grid, naive, "n={n} radius={radius}");
+        }
     }
 
     #[test]

@@ -3,17 +3,31 @@
 //! transmission scripts, the engine's deliveries must match the
 //! definition "a listener receives iff exactly one neighbor transmits",
 //! with half-duplex transmitters and wake-on-first-reception.
+//!
+//! Three instantiations of the same differential check:
+//!
+//! * small graphs (3..10 nodes) — minimal counterexamples;
+//! * large graphs (60..100 nodes) — node counts straddling the 64-bit
+//!   word boundary of the engine's bitset planes (tail-word masking)
+//!   and, because the edge count is drawn independently of `n`, sparse
+//!   samples with isolated nodes;
+//! * hinted nodes — scripts that additionally implement
+//!   [`Node::next_activity`] from their plan, exercising the engine's
+//!   park/unpark machinery against the always-polling reference.
 
 use proptest::prelude::*;
 use radio_net::engine::{Engine, Node};
 use radio_net::graph::{Graph, NodeId};
-use radio_net::stats::RoundOutcome;
+use radio_net::stats::{RoundOutcome, SimStats};
 
 /// A node that transmits per a fixed script and records receptions.
 struct Scripted {
     /// `plan[r]` = message to transmit in round `r` (if any).
     plan: Vec<Option<u32>>,
     received: Vec<(u64, u32)>,
+    /// Whether [`Node::next_activity`] reads the plan (else the
+    /// poll-every-round default).
+    hinted: bool,
 }
 
 impl Node for Scripted {
@@ -23,6 +37,16 @@ impl Node for Scripted {
     }
     fn receive(&mut self, round: u64, msg: &u32) {
         self.received.push((round, *msg));
+    }
+    fn next_activity(&self, round: u64) -> u64 {
+        if !self.hinted {
+            return round + 1;
+        }
+        // Next scripted transmission: intermediate polls return `None`
+        // and change nothing, exactly the hint contract.
+        ((round as usize + 1)..self.plan.len())
+            .find(|&r| self.plan[r].is_some())
+            .map_or(u64::MAX, |r| r as u64)
     }
 }
 
@@ -86,6 +110,103 @@ fn reference(
     (received, outcomes)
 }
 
+/// Runs the engine on `(topo, plans, awake0)` and returns the per-round
+/// outcomes, per-node reception logs and aggregate stats.
+fn run_engine(
+    n: usize,
+    edges: &[(usize, usize)],
+    plans: &[Vec<Option<u32>>],
+    awake0: &[bool],
+    rounds: usize,
+    hinted: bool,
+) -> (Vec<RoundOutcome>, Vec<Vec<(u64, u32)>>, SimStats) {
+    let graph = Graph::from_edges(n, edges.iter().copied()).expect("valid edges");
+    let nodes: Vec<Scripted> = plans
+        .iter()
+        .map(|p| Scripted {
+            plan: p.clone(),
+            received: Vec::new(),
+            hinted,
+        })
+        .collect();
+    let awake_ids: Vec<NodeId> = (0..n).filter(|&i| awake0[i]).map(NodeId::new).collect();
+    let mut engine = Engine::new(graph, nodes, awake_ids).expect("engine builds");
+    let outcomes: Vec<RoundOutcome> = (0..rounds).map(|_| engine.step()).collect();
+    let stats = *engine.stats();
+    let received = (0..n)
+        .map(|i| engine.node(NodeId::new(i)).received.clone())
+        .collect();
+    (outcomes, received, stats)
+}
+
+/// Deterministic pseudo-random per-node plans from a seed.
+fn make_plans(n: usize, rounds: usize, plan_seed: u64) -> Vec<Vec<Option<u32>>> {
+    let mut state = plan_seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..n)
+        .map(|_| {
+            (0..rounds)
+                .map(|_| {
+                    let x = next();
+                    (x % 3 == 0).then_some((x % 1000) as u32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn make_awake(n: usize, awake_seed: u64) -> Vec<bool> {
+    let mut awake0: Vec<bool> = (0..n).map(|i| awake_seed >> (i % 64) & 1 == 1).collect();
+    // At least one node awake so something can happen.
+    awake0[0] = true;
+    awake0
+}
+
+macro_rules! differential_check {
+    ($topo:expr, $plan_seed:expr, $awake_seed:expr, $hinted:expr) => {{
+        let (n, edges) = ($topo.n, $topo.edges);
+        let rounds = 8usize;
+        let plans = make_plans(n, rounds, $plan_seed);
+        let awake0 = make_awake(n, $awake_seed);
+
+        let (outcomes, received, stats) = run_engine(n, &edges, &plans, &awake0, rounds, $hinted);
+        let (expect, expect_outcomes) = reference(n, &edges, &plans, &awake0, rounds);
+        prop_assert_eq!(&outcomes, &expect_outcomes, "per-round outcomes diverge");
+        for (i, want) in expect.iter().enumerate() {
+            prop_assert_eq!(&received[i], want, "node {} receptions diverge", i);
+        }
+
+        // Aggregate stats must equal the sum of the per-round outcomes.
+        prop_assert_eq!(stats.rounds, rounds as u64);
+        prop_assert_eq!(
+            stats.transmissions,
+            expect_outcomes
+                .iter()
+                .map(|o| o.transmissions as u64)
+                .sum::<u64>()
+        );
+        prop_assert_eq!(
+            stats.receptions,
+            expect_outcomes
+                .iter()
+                .map(|o| o.receptions as u64)
+                .sum::<u64>()
+        );
+        prop_assert_eq!(
+            stats.collisions,
+            expect_outcomes
+                .iter()
+                .map(|o| o.collisions as u64)
+                .sum::<u64>()
+        );
+    }};
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -98,64 +219,30 @@ proptest! {
         // The edge-list strategy shrinks structurally (delete-vertex,
         // then delete-edge), so a divergence from the reference is
         // reported on a minimal topology.
-        let (n, edges) = (topo.n, topo.edges);
-        let graph = Graph::from_edges(n, edges.clone()).expect("valid edges");
-        let rounds = 8usize;
+        differential_check!(topo, plan_seed, awake_seed, false);
+    }
 
-        // Deterministic pseudo-random plans from the seed.
-        let mut state = plan_seed | 1;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            state >> 33
-        };
-        let plans: Vec<Vec<Option<u32>>> = (0..n)
-            .map(|_| {
-                (0..rounds)
-                    .map(|_| {
-                        let x = next();
-                        (x % 3 == 0).then_some((x % 1000) as u32)
-                    })
-                    .collect()
-            })
-            .collect();
-        let awake0: Vec<bool> = (0..n).map(|i| awake_seed >> (i % 64) & 1 == 1).collect();
-        // At least one node awake so something can happen.
-        let mut awake0 = awake0;
-        awake0[0] = true;
+    #[test]
+    fn engine_matches_reference_across_word_boundary(
+        topo in proptest::graph::edge_list(60..100),
+        plan_seed in any::<u64>(),
+        awake_seed in any::<u64>(),
+    ) {
+        // Node counts straddling (and not a multiple of) 64 exercise
+        // the bitset planes' tail-word masking; the edge count is drawn
+        // independently of n, so sparse samples include isolated nodes.
+        differential_check!(topo, plan_seed, awake_seed, false);
+    }
 
-        let nodes: Vec<Scripted> = plans
-            .iter()
-            .map(|p| Scripted { plan: p.clone(), received: Vec::new() })
-            .collect();
-        let awake_ids: Vec<NodeId> = (0..n).filter(|&i| awake0[i]).map(NodeId::new).collect();
-        let mut engine = Engine::new(graph, nodes, awake_ids).expect("engine builds");
-        let outcomes: Vec<RoundOutcome> = (0..rounds).map(|_| engine.step()).collect();
-
-        let (expect, expect_outcomes) = reference(n, &edges, &plans, &awake0, rounds);
-        prop_assert_eq!(&outcomes, &expect_outcomes, "per-round outcomes diverge");
-        for (i, want) in expect.iter().enumerate() {
-            prop_assert_eq!(
-                &engine.node(NodeId::new(i)).received,
-                want,
-                "node {} receptions diverge",
-                i
-            );
-        }
-
-        // Aggregate stats must equal the sum of the per-round outcomes.
-        let stats = engine.stats();
-        prop_assert_eq!(stats.rounds, rounds as u64);
-        prop_assert_eq!(
-            stats.transmissions,
-            expect_outcomes.iter().map(|o| o.transmissions as u64).sum::<u64>()
-        );
-        prop_assert_eq!(
-            stats.receptions,
-            expect_outcomes.iter().map(|o| o.receptions as u64).sum::<u64>()
-        );
-        prop_assert_eq!(
-            stats.collisions,
-            expect_outcomes.iter().map(|o| o.collisions as u64).sum::<u64>()
-        );
+    #[test]
+    fn engine_with_activity_hints_matches_reference(
+        topo in proptest::graph::edge_list(3..80),
+        plan_seed in any::<u64>(),
+        awake_seed in any::<u64>(),
+    ) {
+        // Hinted scripts park between scripted transmissions; deliveries
+        // must still match the always-polling reference exactly
+        // (receptions void hints, collisions and silence must not).
+        differential_check!(topo, plan_seed, awake_seed, true);
     }
 }

@@ -10,7 +10,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo build --release
+# --workspace so the bench path (perf_smoke and the exp_* binaries) is
+# compile-checked on every run, even when every bench stage below is
+# skipped via KB_SKIP_PERF=1 without KB_PERF=1.
+cargo build --release --workspace
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
@@ -67,6 +70,21 @@ grep -q '"per_stage"' target/E18_trace_smoke.json || {
 # numbers are meaningless).
 if [ "${KB_SKIP_PERF:-0}" != "1" ]; then
     sh scripts/perf_gate.sh
+fi
+
+# Full perf sweep (opt-in: KB_PERF=1). Runs perf_smoke at full scale —
+# including the scale-out scenarios (grid256x256 and the million-node
+# unit disk), which take minutes — writing to a scratch path so the
+# committed results/BENCH_engine.json baseline is only updated
+# deliberately. perf_smoke asserts all_done per scenario, so this also
+# smoke-tests protocol completion at scale.
+if [ "${KB_PERF:-0}" = "1" ]; then
+    KB_SCALE=full KB_BENCH_OUT=target/BENCH_engine_full.json \
+        cargo run --release -q -p kbcast-bench --bin perf_smoke
+    [ -s target/BENCH_engine_full.json ] || {
+        echo "check.sh: perf sweep produced no target/BENCH_engine_full.json" >&2
+        exit 1
+    }
 fi
 
 echo "check.sh: all gates passed"

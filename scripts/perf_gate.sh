@@ -1,8 +1,8 @@
 #!/bin/sh
 # Perf gate: the engine hot loop must not regress. Reruns perf_smoke
-# (quick scale, scratch output via KB_BENCH_OUT) and fails if the
-# grid64x64/single_source throughput drops more than 20% below the
-# committed baseline in results/BENCH_engine.json.
+# (quick scale, scratch output via KB_BENCH_OUT) and fails if either
+# gated grid scenario drops more than 35% below the committed baseline
+# in results/BENCH_engine.json, or below its absolute floor.
 #
 # perf_smoke drives Engine<_, NoFaults> with an Observer whose
 # DETAIL = false, so holding this floor is the zero-cost proof for
@@ -16,41 +16,63 @@
 #     observer — an untraced session monomorphizes to the exact
 #     pre-trace loop, with bit-identical round counts.
 # A clean, unverified, untraced engine must therefore monomorphize to
-# the pre-subsystem loop and keep its throughput (the committed
-# baseline is ~6931 rounds/s on the reference machine, i.e. a floor of
-# ~5545 rounds/s; the 20% slack is for machine variance, not for
+# the pre-subsystem loop and keep its throughput (the 35% slack against
+# the committed baseline is for machine variance, not for
 # instrumentation cost).
+#
+# The absolute floors additionally pin the word-parallel + activity-hint
+# engine's order of magnitude, so a regression cannot slip through by
+# also regenerating the baseline file: the reference machine measures
+# ~800k rounds/s on grid64x64/single_source and ~90k on
+# grid64x64/spread; the floors sit ~10x under that to absorb slower
+# machines while still rejecting any return to per-node scalar polling.
 set -eu
 cd "$(dirname "$0")/.."
 
-scenario="grid64x64/single_source"
+# Pre-bitset-engine floor (rounds/s): 80% of the ~6931 r/s scalar-loop
+# baseline. Kept as the documented fallback applied when a scenario has
+# no committed baseline entry to compute a relative floor from.
+legacy_abs_floor=5545
 
 extract_rps() {
-    grep -o "\"scenario\": \"$scenario\"[^}]*" "$1" \
+    grep -o "\"scenario\": \"$1\"[^}]*" "$2" \
         | grep -o '"rounds_per_sec": [0-9.]*' \
         | grep -o '[0-9.]*$'
-}
-
-baseline=$(extract_rps results/BENCH_engine.json)
-[ -n "$baseline" ] || {
-    echo "perf_gate: no $scenario baseline in results/BENCH_engine.json" >&2
-    exit 1
 }
 
 out=target/BENCH_engine_gate.json
 KB_SCALE=quick KB_BENCH_OUT="$out" cargo run --release -q -p kbcast-bench --bin perf_smoke
 
-fresh=$(extract_rps "$out")
-[ -n "$fresh" ] || {
-    echo "perf_gate: perf_smoke produced no $scenario measurement" >&2
-    exit 1
+# gate <scenario> <absolute floor in rounds/s>
+gate() {
+    scenario="$1"
+    abs_floor="$2"
+
+    baseline=$(extract_rps "$scenario" results/BENCH_engine.json || true)
+    if [ -z "$baseline" ]; then
+        echo "perf_gate: no $scenario baseline committed; using legacy floor" >&2
+        baseline=$legacy_abs_floor
+        abs_floor=$legacy_abs_floor
+    fi
+
+    fresh=$(extract_rps "$scenario" "$out")
+    [ -n "$fresh" ] || {
+        echo "perf_gate: perf_smoke produced no $scenario measurement" >&2
+        exit 1
+    }
+
+    awk -v fresh="$fresh" -v base="$baseline" -v abs="$abs_floor" \
+        -v name="$scenario" 'BEGIN {
+        floor = 0.65 * base
+        if (abs + 0 > floor) floor = abs + 0
+        printf "perf_gate: %-26s %s rounds/s (baseline %s, floor %.1f)\n", \
+            name, fresh, base, floor
+        exit !(fresh + 0 >= floor)
+    }' || {
+        echo "perf_gate: $scenario throughput regressed below its floor" >&2
+        exit 1
+    }
 }
 
-awk -v fresh="$fresh" -v base="$baseline" 'BEGIN {
-    floor = 0.8 * base
-    printf "perf_gate: %s rounds/s (baseline %s, floor %.1f)\n", fresh, base, floor
-    exit !(fresh + 0 >= floor)
-}' || {
-    echo "perf_gate: engine throughput regressed more than 20% below the baseline" >&2
-    exit 1
-}
+gate "grid64x64/single_source" 50000
+gate "grid64x64/spread" 10000

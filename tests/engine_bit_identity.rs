@@ -1,0 +1,276 @@
+//! Bit-identity pins for the word-parallel engine core: session round
+//! counts and channel statistics for all three protocols (coded, BII,
+//! dynamic) on 3 pinned seeds x 3 topologies, with the verify and
+//! trace tees enabled so the detail-assembly path is exercised too.
+//!
+//! The golden values below were captured with the pre-bitset scalar
+//! engine (one `poll` per awake node per round, per-listener collision
+//! counting). The bitset/SoA rework and the activity-hint parking
+//! optimisation must reproduce them exactly: same rounds, same
+//! transmission/reception/collision/wakeup counts, under the
+//! ModelChecker (`verify: true`) with a live trace collector.
+//!
+//! Regenerate after an intentional semantic change with
+//! `cargo test -q --test engine_bit_identity -- --ignored --nocapture`.
+
+use radio_kbcast::kbcast::baseline::BiiProtocol;
+use radio_kbcast::kbcast::dynamic::{Arrival, DynamicProtocol};
+use radio_kbcast::kbcast::runner::{RunOptions, Workload};
+use radio_kbcast::kbcast::session::run_protocol;
+use radio_kbcast::kbcast::CodedProtocol;
+use radio_kbcast::radio_net::stats::SimStats;
+use radio_kbcast::radio_net::topology::Topology;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// 3 pinned topologies: a grid (sparse, > diameter), a G(n,p) with
+/// n > 64 (forces multi-word bitset state with a masked tail word) and
+/// a cycle (large diameter, long quiet stretches for the parking path).
+fn topologies() -> [Topology; 3] {
+    [
+        Topology::Grid2d { rows: 6, cols: 6 },
+        Topology::Gnp { n: 70, p: 0.12 },
+        Topology::Cycle { n: 33 },
+    ]
+}
+
+fn options() -> RunOptions {
+    RunOptions {
+        loss_rate: 0.0,
+        max_rounds: None,
+        verify: true,
+        trace: true,
+    }
+}
+
+/// One pinned observation: rounds plus the channel counters that the
+/// engine's three phases produce (a collision-count or wakeup drift is
+/// exactly the kind of bug a tail-mask error causes without changing
+/// the round total on small runs).
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    rounds: u64,
+    transmissions: u64,
+    receptions: u64,
+    collisions: u64,
+    wakeups: u64,
+}
+
+fn observe(stats: &SimStats, rounds: u64) -> Golden {
+    Golden {
+        rounds,
+        transmissions: stats.transmissions,
+        receptions: stats.receptions,
+        collisions: stats.collisions,
+        wakeups: stats.wakeups,
+    }
+}
+
+fn run_coded(topo: &Topology, seed: u64) -> Golden {
+    let n = match topo {
+        Topology::Grid2d { rows, cols } => rows * cols,
+        Topology::Gnp { n, .. } | Topology::Cycle { n } => *n,
+        _ => unreachable!(),
+    };
+    let w = Workload::random(n, 8, seed);
+    let r = run_protocol(&CodedProtocol::default(), topo, &w, seed, options()).unwrap();
+    assert!(r.success, "coded run must complete on {topo} seed {seed}");
+    observe(&r.stats, r.rounds_total)
+}
+
+fn run_bii(topo: &Topology, seed: u64) -> Golden {
+    let n = match topo {
+        Topology::Grid2d { rows, cols } => rows * cols,
+        Topology::Gnp { n, .. } | Topology::Cycle { n } => *n,
+        _ => unreachable!(),
+    };
+    let w = Workload::random(n, 8, seed);
+    let r = run_protocol(&BiiProtocol::default(), topo, &w, seed, options()).unwrap();
+    assert!(r.success, "bii run must complete on {topo} seed {seed}");
+    observe(&r.stats, r.rounds_total)
+}
+
+fn run_dynamic(topo: &Topology, seed: u64) -> Golden {
+    let n = match topo {
+        Topology::Grid2d { rows, cols } => rows * cols,
+        Topology::Gnp { n, .. } | Topology::Cycle { n } => *n,
+        _ => unreachable!(),
+    };
+    // Two packets at round 0 (wakes the network), two injected later:
+    // exercises the session-control seam and mid-session wakes.
+    let arrivals = vec![
+        Arrival {
+            round: 0,
+            node: 0,
+            payload: vec![0xA0, seed as u8],
+        },
+        Arrival {
+            round: 0,
+            node: n - 1,
+            payload: vec![0xA1, seed as u8],
+        },
+        Arrival {
+            round: 400,
+            node: n / 2,
+            payload: vec![0xB0, seed as u8],
+        },
+        Arrival {
+            round: 800,
+            node: 1,
+            payload: vec![0xB1, seed as u8],
+        },
+    ];
+    let mut initial: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+    for a in &arrivals {
+        if a.round == 0 {
+            initial[a.node].push(a.payload.clone());
+        }
+    }
+    let w = Workload::new(initial);
+    let protocol = DynamicProtocol {
+        arrivals: &arrivals,
+        config: None,
+        horizon: 200_000,
+    };
+    let r = run_protocol(&protocol, topo, &w, seed, options()).unwrap();
+    assert!(r.success, "dynamic run must complete on {topo} seed {seed}");
+    observe(&r.stats, r.rounds_total)
+}
+
+fn check(protocol: &str, golden: &[[Golden; 3]; 3], run: impl Fn(&Topology, u64) -> Golden) {
+    for (ti, topo) in topologies().iter().enumerate() {
+        for (si, &seed) in SEEDS.iter().enumerate() {
+            let got = run(topo, seed);
+            assert_eq!(
+                got, golden[ti][si],
+                "{protocol} diverged on {topo} seed {seed}"
+            );
+        }
+    }
+}
+
+macro_rules! g {
+    ($r:expr, $t:expr, $rx:expr, $c:expr, $w:expr) => {
+        Golden {
+            rounds: $r,
+            transmissions: $t,
+            receptions: $rx,
+            collisions: $c,
+            wakeups: $w,
+        }
+    };
+}
+
+#[test]
+fn coded_sessions_are_bit_identical() {
+    check("coded", &golden_coded(), run_coded);
+}
+
+#[test]
+fn bii_sessions_are_bit_identical() {
+    check("bii", &golden_bii(), run_bii);
+}
+
+#[test]
+fn dynamic_sessions_are_bit_identical() {
+    check("dynamic", &golden_dynamic(), run_dynamic);
+}
+
+/// Prints the golden tables from the current engine in source form.
+#[test]
+#[ignore = "golden-value regeneration helper"]
+fn print_golden() {
+    for (name, run) in [
+        ("coded", run_coded as fn(&Topology, u64) -> Golden),
+        ("bii", run_bii as fn(&Topology, u64) -> Golden),
+        ("dynamic", run_dynamic as fn(&Topology, u64) -> Golden),
+    ] {
+        println!("fn golden_{name}() -> [[Golden; 3]; 3] {{");
+        println!("    [");
+        for topo in &topologies() {
+            println!("        // {topo}");
+            println!("        [");
+            for &seed in &SEEDS {
+                let g = run(topo, seed);
+                println!(
+                    "            g!({}, {}, {}, {}, {}),",
+                    g.rounds, g.transmissions, g.receptions, g.collisions, g.wakeups
+                );
+            }
+            println!("        ],");
+        }
+        println!("    ]");
+        println!("}}");
+    }
+}
+
+// GOLDEN TABLES (captured from the pre-bitset scalar engine) ---------
+
+fn golden_coded() -> [[Golden; 3]; 3] {
+    [
+        // grid(6x6)
+        [
+            g!(9941, 5027, 7234, 2924, 30),
+            g!(9947, 8710, 9610, 4962, 28),
+            g!(10026, 7445, 8942, 4279, 29),
+        ],
+        // gnp(n=70,p=0.12)
+        [
+            g!(10646, 14948, 22408, 21462, 62),
+            g!(11151, 15806, 24490, 19390, 62),
+            g!(10636, 15399, 23598, 22531, 62),
+        ],
+        // cycle(n=33)
+        [
+            g!(12346, 5375, 6812, 666, 27),
+            g!(12352, 5419, 6852, 667, 25),
+            g!(12350, 6095, 7128, 857, 27),
+        ],
+    ]
+}
+
+fn golden_bii() -> [[Golden; 3]; 3] {
+    [
+        // grid(6x6)
+        [
+            g!(1536, 20586, 13193, 11788, 30),
+            g!(1521, 20599, 13173, 11523, 28),
+            g!(1532, 20692, 13328, 11639, 29),
+        ],
+        // gnp(n=70,p=0.12)
+        [
+            g!(1184, 19480, 17468, 25794, 62),
+            g!(1180, 19311, 17717, 23208, 62),
+            g!(1038, 17177, 15136, 23558, 62),
+        ],
+        // cycle(n=33)
+        [
+            g!(783, 12662, 6538, 3148, 27),
+            g!(786, 12770, 6460, 3202, 25),
+            g!(793, 12795, 6602, 3148, 27),
+        ],
+    ]
+}
+
+fn golden_dynamic() -> [[Golden; 3]; 3] {
+    [
+        // grid(6x6)
+        [
+            g!(9859, 4993, 5834, 2761, 34),
+            g!(9859, 5093, 5749, 2908, 34),
+            g!(9859, 5014, 5852, 2845, 34),
+        ],
+        // gnp(n=70,p=0.12)
+        [
+            g!(10453, 10486, 17538, 15071, 68),
+            g!(11146, 10981, 17951, 14341, 68),
+            g!(10453, 10534, 17503, 16034, 68),
+        ],
+        // cycle(n=33)
+        [
+            g!(23681, 3554, 5858, 238, 31),
+            g!(23681, 3569, 5782, 250, 31),
+            g!(23681, 3526, 5808, 237, 31),
+        ],
+    ]
+}
