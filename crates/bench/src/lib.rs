@@ -12,6 +12,7 @@ pub mod session;
 pub mod stats;
 pub mod sweep;
 pub mod table;
+pub mod traffic;
 pub mod whp;
 
 /// Experiment scale, selected with the `KB_SCALE` environment variable

@@ -1,0 +1,419 @@
+//! Arrival-schedule generators for the streaming experiments (E19):
+//! deterministic workloads parameterized by an offered load λ (packets
+//! per round, network-wide), plus the λ-sweep specification the
+//! saturation experiment consumes.
+//!
+//! Every generated schedule starts with a fixed *seed packet* at round
+//! 0 on node 0 — the protocol requires at least one round-0 arrival to
+//! wake the network and elect the leader — and is fully determined by
+//! `(spec, n, seed)`.
+
+use kbcast::dynamic::Arrival;
+use radio_net::error::Error;
+use radio_net::rng;
+use rand::Rng;
+
+/// Salt for the traffic-generation RNG stream, disjoint from node
+/// streams (those are salted with node ids `< 2^32`).
+const TRAFFIC_SALT: u64 = 0x7452_4146_4649_4331; // "TRAFFIC1"
+
+/// The shape of the offered load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrafficPattern {
+    /// Memoryless arrivals: each round the number of new packets is
+    /// Poisson(λ), each landing on a uniformly random node.
+    Poisson {
+        /// Offered load in packets per round (network-wide).
+        lambda: f64,
+    },
+    /// On/off bursts: alternating `on_rounds` of Poisson(λ) arrivals
+    /// and `off_rounds` of silence. Mean load is
+    /// `λ · on/(on+off)` — same machinery, bursty queueing.
+    Bursty {
+        /// Offered load during the on-phase, packets per round.
+        lambda: f64,
+        /// Length of each on-phase in rounds.
+        on_rounds: u64,
+        /// Length of each off-phase in rounds.
+        off_rounds: u64,
+    },
+    /// Adversarial single-hotspot: Poisson(λ) arrivals all landing on
+    /// one node, so its collection subtree carries the entire load.
+    Hotspot {
+        /// Offered load in packets per round.
+        lambda: f64,
+        /// The node every packet arrives at.
+        node: usize,
+    },
+}
+
+impl TrafficPattern {
+    fn lambda(&self) -> f64 {
+        match *self {
+            TrafficPattern::Poisson { lambda }
+            | TrafficPattern::Bursty { lambda, .. }
+            | TrafficPattern::Hotspot { lambda, .. } => lambda,
+        }
+    }
+}
+
+/// A complete workload description: a [`TrafficPattern`] applied over a
+/// generation window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficSpec {
+    /// The load shape.
+    pub pattern: TrafficPattern,
+    /// Rounds `1..=window` during which arrivals are generated (the
+    /// round-0 seed packet is always added on top).
+    pub window: u64,
+}
+
+impl TrafficSpec {
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when the arrival rate is non-finite
+    /// or negative, the generation window is zero-length, or a burst
+    /// phase is zero-length.
+    pub fn validate(&self) -> Result<(), Error> {
+        let lambda = self.pattern.lambda();
+        if !lambda.is_finite() {
+            return Err(Error::InvalidParameter {
+                reason: format!("arrival rate must be finite, got {lambda}"),
+            });
+        }
+        if lambda < 0.0 {
+            return Err(Error::InvalidParameter {
+                reason: format!("arrival rate must be nonnegative, got {lambda}"),
+            });
+        }
+        if self.window == 0 {
+            return Err(Error::InvalidParameter {
+                reason: "traffic generation window must be at least 1 round".into(),
+            });
+        }
+        if let TrafficPattern::Bursty {
+            on_rounds,
+            off_rounds,
+            ..
+        } = self.pattern
+        {
+            if on_rounds == 0 || off_rounds == 0 {
+                return Err(Error::InvalidParameter {
+                    reason: format!(
+                        "burst phases must be at least 1 round (on {on_rounds}, off {off_rounds})"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates the arrival schedule for an `n`-node network,
+    /// deterministic in `(self, n, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TrafficSpec::validate`] rejects, plus a hotspot
+    /// node outside `0..n`.
+    pub fn generate(&self, n: usize, seed: u64) -> Result<Vec<Arrival>, Error> {
+        self.validate()?;
+        if n == 0 {
+            return Err(Error::InvalidParameter {
+                reason: "traffic needs at least one node".into(),
+            });
+        }
+        if let TrafficPattern::Hotspot { node, .. } = self.pattern {
+            if node >= n {
+                return Err(Error::InvalidParameter {
+                    reason: format!("hotspot node {node} outside 0..{n}"),
+                });
+            }
+        }
+        let mut rng = rng::stream(seed, TRAFFIC_SALT);
+        let mut out = vec![Arrival {
+            round: 0,
+            node: 0,
+            payload: vec![0xE1, 0x95],
+        }];
+        for round in 1..=self.window {
+            let lambda = match self.pattern {
+                TrafficPattern::Poisson { lambda } | TrafficPattern::Hotspot { lambda, .. } => {
+                    lambda
+                }
+                TrafficPattern::Bursty {
+                    lambda,
+                    on_rounds,
+                    off_rounds,
+                } => {
+                    if (round - 1) % (on_rounds + off_rounds) < on_rounds {
+                        lambda
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            for i in 0..poisson(&mut rng, lambda) {
+                let node = match self.pattern {
+                    TrafficPattern::Hotspot { node, .. } => node,
+                    _ => rng.gen_range(0..n),
+                };
+                out.push(Arrival {
+                    round,
+                    node,
+                    payload: vec![
+                        (round >> 8) as u8,
+                        round as u8,
+                        u8::try_from(i % 251).unwrap_or(0),
+                    ],
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One Poisson(λ) draw via Knuth's product method, chunked so the
+/// `exp(-λ)` threshold never underflows (Poisson(a+b) = Poisson(a) +
+/// Poisson(b) for independent draws).
+fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    let mut remaining = lambda;
+    let mut count = 0u64;
+    while remaining > 0.0 {
+        let chunk = remaining.min(16.0);
+        remaining -= chunk;
+        let threshold = (-chunk).exp();
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= threshold {
+                break;
+            }
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The λ-sweep specification for the saturation experiment: each λ is
+/// run as a [`TrafficSpec`] over the same window, inside a session
+/// bounded by `horizon` rounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SaturationSpec {
+    /// Offered loads to sweep, packets per round.
+    pub lambdas: Vec<f64>,
+    /// Arrival-generation window per run, in rounds.
+    pub window: u64,
+    /// Session round budget per run (must leave the protocol room to
+    /// drain: `horizon > window`).
+    pub horizon: u64,
+}
+
+impl SaturationSpec {
+    /// Validates the sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when the sweep is empty, any rate is
+    /// non-finite or negative, or an epoch/round budget is zero-length
+    /// (or leaves no room to drain).
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.lambdas.is_empty() {
+            return Err(Error::InvalidParameter {
+                reason: "saturation sweep needs at least one arrival rate".into(),
+            });
+        }
+        for &lambda in &self.lambdas {
+            if !lambda.is_finite() || lambda < 0.0 {
+                return Err(Error::InvalidParameter {
+                    reason: format!("arrival rates must be finite and nonnegative, got {lambda}"),
+                });
+            }
+        }
+        if self.window == 0 {
+            return Err(Error::InvalidParameter {
+                reason: "saturation window must be at least 1 round".into(),
+            });
+        }
+        if self.horizon <= self.window {
+            return Err(Error::InvalidParameter {
+                reason: format!(
+                    "session horizon ({}) must exceed the arrival window ({}) so queues can drain",
+                    self.horizon, self.window
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let spec = TrafficSpec {
+            pattern: TrafficPattern::Poisson { lambda: 0.01 },
+            window: 5_000,
+        };
+        let a = spec.generate(16, 42).unwrap();
+        let b = spec.generate(16, 42).unwrap();
+        assert_eq!(a, b);
+        let c = spec.generate(16, 43).unwrap();
+        assert_ne!(a, c, "different seeds must differ somewhere");
+        assert!(a.len() > 1, "λ·window = 50 expected arrivals");
+    }
+
+    #[test]
+    fn every_schedule_has_a_round_zero_seed() {
+        for pattern in [
+            TrafficPattern::Poisson { lambda: 0.0 },
+            TrafficPattern::Bursty {
+                lambda: 0.02,
+                on_rounds: 100,
+                off_rounds: 400,
+            },
+            TrafficPattern::Hotspot {
+                lambda: 0.01,
+                node: 3,
+            },
+        ] {
+            let arrivals = TrafficSpec {
+                pattern,
+                window: 1_000,
+            }
+            .generate(8, 7)
+            .unwrap();
+            assert!(arrivals.iter().any(|a| a.round == 0), "{pattern:?}");
+        }
+    }
+
+    #[test]
+    fn bursty_respects_off_phases() {
+        let spec = TrafficSpec {
+            pattern: TrafficPattern::Bursty {
+                lambda: 0.5,
+                on_rounds: 10,
+                off_rounds: 90,
+            },
+            window: 10_000,
+        };
+        let arrivals = spec.generate(8, 9).unwrap();
+        for a in arrivals.iter().filter(|a| a.round > 0) {
+            assert!(
+                (a.round - 1) % 100 < 10,
+                "arrival at round {} falls in an off-phase",
+                a.round
+            );
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_one_node() {
+        let spec = TrafficSpec {
+            pattern: TrafficPattern::Hotspot {
+                lambda: 0.05,
+                node: 5,
+            },
+            window: 2_000,
+        };
+        let arrivals = spec.generate(8, 11).unwrap();
+        assert!(arrivals.iter().skip(1).all(|a| a.node == 5));
+        assert!(arrivals.len() > 1);
+    }
+
+    #[test]
+    fn rejects_invalid_rates_and_windows() {
+        use radio_net::error::Error;
+        let bad = |pattern, window| {
+            let r = TrafficSpec { pattern, window }.validate();
+            assert!(matches!(r, Err(Error::InvalidParameter { .. })), "{r:?}");
+        };
+        bad(
+            TrafficPattern::Poisson {
+                lambda: f64::INFINITY,
+            },
+            100,
+        );
+        bad(TrafficPattern::Poisson { lambda: f64::NAN }, 100);
+        bad(TrafficPattern::Poisson { lambda: -0.5 }, 100);
+        bad(TrafficPattern::Poisson { lambda: 0.1 }, 0);
+        bad(
+            TrafficPattern::Bursty {
+                lambda: 0.1,
+                on_rounds: 0,
+                off_rounds: 5,
+            },
+            100,
+        );
+        let oob = TrafficSpec {
+            pattern: TrafficPattern::Hotspot {
+                lambda: 0.1,
+                node: 8,
+            },
+            window: 100,
+        }
+        .generate(8, 0);
+        assert!(
+            matches!(oob, Err(Error::InvalidParameter { .. })),
+            "{oob:?}"
+        );
+    }
+
+    #[test]
+    fn saturation_spec_validation() {
+        use radio_net::error::Error;
+        let ok = SaturationSpec {
+            lambdas: vec![0.001, 0.01],
+            window: 10_000,
+            horizon: 100_000,
+        };
+        assert!(ok.validate().is_ok());
+        let bad = |spec: SaturationSpec| {
+            let r = spec.validate();
+            assert!(matches!(r, Err(Error::InvalidParameter { .. })), "{r:?}");
+        };
+        bad(SaturationSpec {
+            lambdas: vec![],
+            window: 10,
+            horizon: 100,
+        });
+        bad(SaturationSpec {
+            lambdas: vec![-1.0],
+            window: 10,
+            horizon: 100,
+        });
+        bad(SaturationSpec {
+            lambdas: vec![f64::NAN],
+            window: 10,
+            horizon: 100,
+        });
+        bad(SaturationSpec {
+            lambdas: vec![0.01],
+            window: 0,
+            horizon: 100,
+        });
+        bad(SaturationSpec {
+            lambdas: vec![0.01],
+            window: 100,
+            horizon: 100,
+        });
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = rng::stream(1, 2);
+        let trials = 4_000;
+        let total: u64 = (0..trials).map(|_| poisson(&mut rng, 3.0)).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let mean = total as f64 / f64::from(trials);
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+        // The chunked path (λ > 16) must stay sane too.
+        let total: u64 = (0..trials).map(|_| poisson(&mut rng, 40.0)).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let mean = total as f64 / f64::from(trials);
+        assert!((mean - 40.0).abs() < 1.0, "mean {mean}");
+    }
+}

@@ -304,10 +304,7 @@ pub struct BiiStageProbe;
 impl StageProbe<BiiNode> for BiiStageProbe {
     fn sample(&mut self, _events: &RoundEvents, nodes: &[BiiNode]) -> StageSample {
         let gauge: u64 = nodes.iter().map(|n| n.known_count() as u64).sum();
-        StageSample {
-            stage: std::borrow::Cow::Borrowed("flood"),
-            gauge: Some(gauge),
-        }
+        StageSample::new("flood").with_gauge(gauge)
     }
 }
 

@@ -1,8 +1,6 @@
 //! End-to-end execution harness: build a network, place packets, run the
 //! protocol, verify delivery and report round counts.
 
-use std::borrow::Cow;
-
 use radio_net::graph::{Graph, NodeId};
 use radio_net::rng;
 use radio_net::session::{Observer, RoundEvents, SessionEnd};
@@ -514,10 +512,7 @@ impl StageProbe<KbcastNode> for CodedStageProbe {
             .filter_map(KbcastNode::dissem_state)
             .flat_map(|d| d.group_status().map(|g| g.rank as u64))
             .sum();
-        StageSample {
-            stage: Cow::Borrowed(stage),
-            gauge: Some(gauge),
-        }
+        StageSample::new(stage).with_gauge(gauge)
     }
 }
 

@@ -31,11 +31,14 @@
 //! state only changes through receptions, so silent rounds cost one
 //! branch.
 
+use std::collections::HashSet;
+
 use radio_net::session::RoundEvents;
 use radio_net::verify::{Check, Violation, ViolationLog};
 use radio_net::SessionEnd;
 
 use crate::config::Config;
+use crate::dynamic::{DynamicNode, PipelineMode};
 use crate::node::KbcastNode;
 use crate::packet::PacketKey;
 
@@ -330,6 +333,206 @@ impl Check<KbcastNode> for StageInvariants {
     }
 }
 
+/// Streaming-mode invariants for the dynamic/streaming protocols: key
+/// conservation is checked **per epoch, as each epoch closes**, rather
+/// than once at end-of-run — an unbounded streaming session validates
+/// continuously instead of deferring everything to a final audit.
+///
+/// Checked as the root's epoch history grows (every mode, faults
+/// included — these are structural, not w.h.p., properties):
+///
+/// - epoch indices are contiguous from 0;
+/// - each record's `k` matches its key list, which contains no
+///   duplicates, no marker, and no key outside the arrival-derived
+///   ground truth (no forgery);
+/// - no key is carried by two epochs (conservation across epochs);
+/// - epoch windows respect the mode's schedule: sequential batches
+///   tile time, interleaved dissemination windows are disjoint and
+///   ordered.
+///
+/// At session end, every node's holdings are audited (unique, no
+/// forgery, stamps cover holdings), and in *clean* runs a node holding
+/// the full count must hold exactly the expected set.
+#[derive(Debug)]
+pub struct EpochConservation {
+    /// Ground-truth key set, sorted (arrival-derived).
+    expected: Vec<PacketKey>,
+    mode: PipelineMode,
+    clean: bool,
+    root: Option<usize>,
+    /// Epoch records already validated.
+    seen: usize,
+    /// End round of the last validated epoch.
+    prev_end: Option<u64>,
+    /// Keys carried by any validated epoch.
+    carried: HashSet<PacketKey>,
+    log: ViolationLog,
+}
+
+impl EpochConservation {
+    /// A checker verifying against the sorted ground-truth key set
+    /// `expected`, for a session scheduled in `mode`. `clean` enables
+    /// the w.h.p.-only completeness invariant.
+    #[must_use]
+    pub fn new(expected: Vec<PacketKey>, mode: PipelineMode, clean: bool) -> Self {
+        debug_assert!(expected.windows(2).all(|w| w[0] < w[1]));
+        EpochConservation {
+            expected,
+            mode,
+            clean,
+            root: None,
+            seen: 0,
+            prev_end: None,
+            carried: HashSet::new(),
+            log: ViolationLog::default(),
+        }
+    }
+
+    fn expects(&self, key: PacketKey) -> bool {
+        self.expected.binary_search(&key).is_ok()
+    }
+
+    fn check_epoch(&mut self, round: u64, record: &crate::dynamic::BatchRecord) {
+        if record.batch as usize != self.seen {
+            self.log.record(
+                round,
+                format!(
+                    "epoch {} closed out of order (expected epoch {})",
+                    record.batch, self.seen
+                ),
+            );
+        }
+        if record.k != record.keys.len() {
+            self.log.record(
+                round,
+                format!(
+                    "epoch {} reports k={} but carries {} keys",
+                    record.batch,
+                    record.k,
+                    record.keys.len()
+                ),
+            );
+        }
+        if record.start > record.end {
+            self.log.record(
+                round,
+                format!(
+                    "epoch {} window is inverted ({}..{})",
+                    record.batch, record.start, record.end
+                ),
+            );
+        }
+        if let Some(prev_end) = self.prev_end {
+            let ok = match self.mode {
+                // Sequential batches tile time exactly.
+                PipelineMode::Sequential => record.start == prev_end,
+                // Interleaved dissemination windows may gap (the lane
+                // waits for a collection) but never overlap.
+                PipelineMode::Interleaved => record.start >= prev_end,
+            };
+            if !ok {
+                self.log.record(
+                    round,
+                    format!(
+                        "epoch {} starts at {} against previous end {prev_end} ({:?} schedule)",
+                        record.batch, record.start, self.mode
+                    ),
+                );
+            }
+        }
+        self.prev_end = Some(record.end);
+        for &key in &record.keys {
+            if !self.expects(key) {
+                self.log.record(
+                    round,
+                    format!("epoch {} carries forged key {key:?}", record.batch),
+                );
+            }
+            if !self.carried.insert(key) {
+                self.log.record(
+                    round,
+                    format!(
+                        "key {key:?} carried twice (again by epoch {})",
+                        record.batch
+                    ),
+                );
+            }
+        }
+        self.seen += 1;
+    }
+}
+
+impl Check<DynamicNode> for EpochConservation {
+    fn name(&self) -> &'static str {
+        "epoch"
+    }
+
+    fn on_round(&mut self, events: &RoundEvents, nodes: &[DynamicNode]) {
+        // The root flag finalizes in the first post-Stage-1 poll; scan
+        // until it appears, then pin it.
+        if self.root.is_none() {
+            self.root = nodes.iter().position(DynamicNode::is_root);
+        }
+        let Some(root) = self.root else {
+            return;
+        };
+        // Validate epochs as they close — streaming conservation.
+        let history = nodes[root].history();
+        while self.seen < history.len() {
+            let record = history[self.seen].clone();
+            self.check_epoch(events.round, &record);
+        }
+    }
+
+    fn on_session_end(&mut self, nodes: &[DynamicNode], _end: &SessionEnd) {
+        for (i, node) in nodes.iter().enumerate() {
+            let mut keys: Vec<PacketKey> = node.delivered().iter().map(|p| p.key).collect();
+            keys.sort_unstable();
+            for w in keys.windows(2) {
+                if w[0] == w[1] {
+                    self.log.record(
+                        u64::MAX,
+                        format!("node {i} ended up holding duplicate key {:?}", w[0]),
+                    );
+                }
+            }
+            let stamped: HashSet<PacketKey> = node.stamps().iter().map(|&(k, _)| k).collect();
+            for &key in &keys {
+                if !self.expects(key) {
+                    self.log.record(
+                        u64::MAX,
+                        format!("node {i} ended up holding forged key {key:?}"),
+                    );
+                }
+                if !stamped.contains(&key) {
+                    self.log.record(
+                        u64::MAX,
+                        format!("node {i} holds key {key:?} without a delivery stamp"),
+                    );
+                }
+            }
+            if self.clean && keys.len() == self.expected.len() && keys != self.expected {
+                self.log.record(
+                    u64::MAX,
+                    format!(
+                        "node {i} holds the full packet count but not the expected set \
+                         ({} keys)",
+                        keys.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        self.log.stored()
+    }
+
+    fn total_violations(&self) -> usize {
+        self.log.total()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +642,129 @@ mod tests {
         fn finish(&self, obs: Self::Obs, nodes: &[KbcastNode], end: &SessionEnd) -> Self::Meta {
             self.0.finish(obs, nodes, end)
         }
+    }
+
+    #[test]
+    fn dynamic_protocols_register_the_epoch_check() {
+        use crate::dynamic::{Arrival, DynamicProtocol, StreamProtocol};
+        let arrivals = vec![Arrival {
+            round: 0,
+            node: 0,
+            payload: vec![1],
+        }];
+        let net = NetParams {
+            n: 9,
+            diameter: 4,
+            max_degree: 4,
+        };
+        let workload = Workload::new(vec![
+            vec![vec![1]],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ]);
+        let dy = DynamicProtocol {
+            arrivals: &arrivals,
+            config: None,
+            horizon: 1_000,
+        };
+        let checks = dy.verify_checks(&net, &workload, true);
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].name(), "epoch");
+        let st = StreamProtocol {
+            arrivals: &arrivals,
+            config: None,
+            horizon: 1_000,
+            mode: PipelineMode::Interleaved,
+        };
+        assert_eq!(st.verify_checks(&net, &workload, true)[0].name(), "epoch");
+    }
+
+    #[test]
+    fn verified_streaming_run_is_violation_free() {
+        use crate::dynamic::{run_streaming, Arrival};
+        use radio_net::topology::Topology;
+        let mut arrivals = vec![
+            Arrival {
+                round: 0,
+                node: 0,
+                payload: vec![1],
+            },
+            Arrival {
+                round: 0,
+                node: 3,
+                payload: vec![2],
+            },
+        ];
+        for i in 0..4u8 {
+            arrivals.push(Arrival {
+                round: 2_000 + u64::from(i) * 1_500,
+                node: usize::from(i) * 2 + 1,
+                payload: vec![0x40, i],
+            });
+        }
+        for mode in [PipelineMode::Sequential, PipelineMode::Interleaved] {
+            let r = run_streaming(
+                &Topology::Gnp { n: 12, p: 0.4 },
+                &arrivals,
+                None,
+                mode,
+                13,
+                800_000,
+                verify_opts(),
+            )
+            .expect("verified streaming run must be violation-free");
+            assert!(r.success, "{mode:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn epoch_conservation_flags_duplicate_and_forged_keys() {
+        use crate::dynamic::BatchRecord;
+        let expected = vec![
+            PacketKey { origin: 0, seq: 0 },
+            PacketKey { origin: 1, seq: 0 },
+        ];
+        let mut check = EpochConservation::new(expected, PipelineMode::Sequential, true);
+        check.check_epoch(
+            10,
+            &BatchRecord {
+                batch: 0,
+                k: 1,
+                start: 0,
+                end: 10,
+                keys: vec![PacketKey { origin: 0, seq: 0 }],
+            },
+        );
+        assert_eq!(check.total_violations(), 0);
+        // Epoch 1: re-carries key (0,0), forges (9,9), gaps the tiling.
+        check.check_epoch(
+            20,
+            &BatchRecord {
+                batch: 1,
+                k: 2,
+                start: 12,
+                end: 20,
+                keys: vec![
+                    PacketKey { origin: 0, seq: 0 },
+                    PacketKey { origin: 9, seq: 9 },
+                ],
+            },
+        );
+        let msgs: Vec<&str> = check
+            .violations()
+            .iter()
+            .map(|v| v.message.as_str())
+            .collect();
+        assert_eq!(check.total_violations(), 3, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("carried twice")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("forged key")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("starts at")), "{msgs:?}");
     }
 
     #[test]

@@ -848,6 +848,41 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
         }
     }
 
+    /// The streaming session loop: a [`Engine::run_session_with`] whose
+    /// control hook is split into an arrival-injection seam
+    /// ([`crate::session::TrafficSource`]) and a drain predicate.
+    ///
+    /// Each control step first checks termination — the source is
+    /// [`TrafficSource::exhausted`](crate::session::TrafficSource::exhausted)
+    /// and `drained` holds (e.g. every injected packet was delivered
+    /// everywhere, or queues are empty) — and otherwise lets the source
+    /// inject arrivals for the round about to execute. The stop check
+    /// is skipped at round 0 (the session must wake the network first)
+    /// and injection is skipped once the budget is spent, so a
+    /// horizon-capped run executes exactly `max_rounds` rounds and
+    /// injects only into rounds that actually run.
+    ///
+    /// Termination is by budget or drain, never by the engine's
+    /// `all_done` counter: streaming protocols are perpetual services
+    /// and never report [`Node::is_done`].
+    pub fn run_streaming<O: Observer<N>, S: crate::session::TrafficSource<N>>(
+        &mut self,
+        max_rounds: u64,
+        obs: &mut O,
+        source: &mut S,
+        mut drained: impl FnMut(&Self) -> bool,
+    ) -> SessionEnd {
+        self.run_session_with(max_rounds, obs, |e| {
+            if e.round() > 0 && source.exhausted() && drained(e) {
+                return SessionControl::Stop;
+            }
+            if e.round() < max_rounds {
+                source.inject(e);
+            }
+            SessionControl::Continue
+        })
+    }
+
     /// The round about to be executed (0 before the first [`Engine::step`]).
     #[must_use]
     pub fn round(&self) -> u64 {

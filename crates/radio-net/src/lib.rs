@@ -121,7 +121,7 @@ pub use message::MessageSize;
 pub use session::{NoopObserver, Observer, RoundDetail, RoundEvents, SessionControl, SessionEnd};
 pub use stats::SimStats;
 pub use trace::{
-    CounterTotals, StageProbe, StageSample, StageSummary, TraceCollector, TraceReport,
-    TraceSummary, Traced,
+    CounterTotals, CurveRec, GaugeStats, StageProbe, StageSample, StageSummary, TraceCollector,
+    TraceReport, TraceSummary, Traced,
 };
 pub use verify::{Check, ModelChecker, Verified, VerifyStack, Violation, ViolationLog};

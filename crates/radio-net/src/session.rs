@@ -14,8 +14,8 @@
 //! — which is now a `NoopObserver` session — compiles to the same hot
 //! loop it had before observers existed.
 
-use crate::engine::Node;
-use crate::faults::FaultEvents;
+use crate::engine::{Engine, Node};
+use crate::faults::{FaultEvents, FaultModel};
 
 /// Everything that happened on the channel in one executed round.
 ///
@@ -177,6 +177,38 @@ pub struct NoopObserver;
 impl<N: Node> Observer<N> for NoopObserver {
     #[inline(always)]
     fn on_round(&mut self, _events: &RoundEvents, _nodes: &[N]) {}
+}
+
+/// An arrival-injection seam for streaming sessions: a harness-side
+/// source of external events (packet arrivals, wake-ups) that the
+/// engine consults once per round of a
+/// [`Engine::run_streaming`](crate::engine::Engine::run_streaming)
+/// session, *before* the round executes.
+///
+/// The source gets mutable engine access so it can wake nodes
+/// ([`Engine::wake`](crate::engine::Engine::wake)) and hand them
+/// payloads ([`Engine::node_mut`](crate::engine::Engine::node_mut)) —
+/// the same omniscient-harness tools the one-shot drivers already use.
+/// Mutating a node through `node_mut` voids its activity-parking hint,
+/// so `next_activity` parking stays correct under mid-run injection:
+/// a parked node that receives an arrival is re-polled from the next
+/// round on.
+///
+/// Unlike a one-shot workload, a traffic source need not be finite; a
+/// streaming session terminates on its round budget or on the caller's
+/// drain predicate once [`TrafficSource::exhausted`] reports the source
+/// dry.
+pub trait TrafficSource<N: Node> {
+    /// Injects this round's arrivals (if any) into the engine. Called
+    /// once before every round with the engine positioned at
+    /// [`Engine::round`](crate::engine::Engine::round) == the round
+    /// about to execute.
+    fn inject<F: FaultModel>(&mut self, engine: &mut Engine<N, F>);
+
+    /// `true` once the source will never inject again (a bounded
+    /// schedule ran out, or a generator hit its packet budget). An
+    /// unbounded source simply always returns `false`.
+    fn exhausted(&self) -> bool;
 }
 
 /// Flow control returned by a session's control hook.

@@ -59,6 +59,28 @@ impl SimStats {
     }
 }
 
+/// Exact nearest-rank percentile of a *sorted* sample: the smallest
+/// element such that at least `p`% of the sample is ≤ it
+/// (rank `⌈p/100 · n⌉`, clamped to at least 1). No interpolation, so
+/// the result is always an observed value — the right estimator for
+/// small latency samples where an interpolated midpoint is a round
+/// count nobody experienced. `None` on an empty sample.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or `sorted` is not ascending.
+#[must_use]
+pub fn nearest_rank(sorted: &[u64], p: f64) -> Option<u64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0,100]");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "sample not sorted");
+    if sorted.is_empty() {
+        return None;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
 /// Per-round outcome returned by [`crate::engine::Engine::step`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RoundOutcome {
@@ -77,6 +99,43 @@ pub struct RoundOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nearest_rank_singleton_is_that_element() {
+        // n = 1: every percentile is the one observation.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(nearest_rank(&[7], p), Some(7));
+        }
+        assert_eq!(nearest_rank(&[], 50.0), None);
+    }
+
+    #[test]
+    fn nearest_rank_two_elements_split_at_the_median() {
+        // n = 2: rank ⌈p/50⌉ — p ≤ 50 picks the first, p > 50 the second.
+        assert_eq!(nearest_rank(&[3, 9], 50.0), Some(3));
+        assert_eq!(nearest_rank(&[3, 9], 50.1), Some(9));
+        assert_eq!(nearest_rank(&[3, 9], 0.0), Some(3));
+        assert_eq!(nearest_rank(&[3, 9], 100.0), Some(9));
+    }
+
+    #[test]
+    fn nearest_rank_odd_sample() {
+        let s = [10, 20, 30, 40, 50];
+        assert_eq!(nearest_rank(&s, 50.0), Some(30));
+        assert_eq!(nearest_rank(&s, 95.0), Some(50));
+        assert_eq!(nearest_rank(&s, 20.0), Some(10));
+        assert_eq!(nearest_rank(&s, 20.1), Some(20));
+    }
+
+    #[test]
+    fn nearest_rank_even_sample() {
+        let s = [1, 2, 3, 4];
+        // p50 on even n is the lower middle under nearest-rank.
+        assert_eq!(nearest_rank(&s, 50.0), Some(2));
+        assert_eq!(nearest_rank(&s, 75.0), Some(3));
+        assert_eq!(nearest_rank(&s, 76.0), Some(4));
+        assert_eq!(nearest_rank(&s, 99.0), Some(4));
+    }
 
     #[test]
     fn delivery_ratio_handles_zero() {

@@ -42,6 +42,113 @@ pub const DEFAULT_RING_CAPACITY: usize = 4096;
 /// bounded but endpoints survive.
 const GAUGE_CURVE_CAPACITY: usize = 1024;
 
+/// A bounded change-point recorder for one scalar time series: stores
+/// `(round, value)` points, skips repeats of the current value, and —
+/// once [`GAUGE_CURVE_CAPACITY`] is reached — compacts by keeping every
+/// second point and doubling the sampling stride. The retained subset
+/// is a pure function of the pushed change sequence, so curves are
+/// thread-invariant and reproducible.
+///
+/// This is the recording machinery behind the protocol-progress gauge,
+/// generalized so streaming sessions can record queue-depth and
+/// in-flight curves with identical bounds and determinism.
+#[derive(Clone, Debug)]
+pub struct CurveRec {
+    points: Vec<(u64, u64)>,
+    /// Only every `stride`-th change-point is recorded after a
+    /// compaction (starts at 1 = record every change).
+    stride: u64,
+    seen: u64,
+}
+
+impl Default for CurveRec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CurveRec {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        CurveRec {
+            points: Vec::new(),
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    /// Records a change-point, deterministically thinning the curve when
+    /// it outgrows its cap. Pushes with the current last value are
+    /// ignored (the curve stores changes, not samples).
+    pub fn push(&mut self, round: u64, value: u64) {
+        if self.points.last().is_some_and(|&(_, v)| v == value) {
+            return;
+        }
+        self.seen += 1;
+        if !(self.seen - 1).is_multiple_of(self.stride) {
+            return;
+        }
+        self.points.push((round, value));
+        if self.points.len() >= GAUGE_CURVE_CAPACITY {
+            let mut keep = 0;
+            for i in (0..self.points.len()).step_by(2) {
+                self.points[keep] = self.points[i];
+                keep += 1;
+            }
+            self.points.truncate(keep);
+            self.stride *= 2;
+        }
+    }
+
+    /// The recorded points, chronological.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, u64)] {
+        &self.points
+    }
+
+    /// Consumes the recorder into its point list.
+    #[must_use]
+    pub fn into_points(self) -> Vec<(u64, u64)> {
+        self.points
+    }
+}
+
+/// Exact aggregate of a per-round scalar (queue depth, in-flight count)
+/// kept alongside its thinned [`CurveRec`] curve: the curve is for
+/// plotting, these scalars are for asserting — the max and the
+/// round-weighted mean are computed from every reported sample, so
+/// thinning never skews a bound check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeStats {
+    /// Largest value reported.
+    pub max: u64,
+    /// Sum of all reported values (one per reporting round).
+    pub sum: u64,
+    /// Rounds that reported a value.
+    pub rounds: u64,
+}
+
+impl GaugeStats {
+    fn record(&mut self, value: u64) {
+        self.max = self.max.max(value);
+        self.sum += value;
+        self.rounds += 1;
+    }
+
+    /// Mean over reporting rounds (0 if none reported).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum as f64 / self.rounds as f64
+        }
+    }
+}
+
 /// Cumulative channel counters, mirroring the per-round fields of
 /// [`RoundEvents`] (and hence the corresponding
 /// [`crate::stats::SimStats`] fields).
@@ -148,6 +255,50 @@ pub struct StageSample {
     /// Optional protocol-progress gauge — a monotone-ish scalar such as
     /// summed decoder rank or delivered-packet count.
     pub gauge: Option<u64>,
+    /// Optional queue-depth gauge — packets waiting at their origins
+    /// for a batch/epoch to pick them up, summed over all nodes. The
+    /// load signal of a streaming session: bounded below the saturation
+    /// knee, divergent above it.
+    pub queue_depth: Option<u64>,
+    /// Optional in-flight gauge — packets injected but not yet
+    /// delivered at every node (queued, being collected, or being
+    /// disseminated).
+    pub in_flight: Option<u64>,
+}
+
+impl StageSample {
+    /// A sample with only a stage label; chain the `with_*` builders
+    /// for the optional gauges.
+    #[must_use]
+    pub fn new(stage: impl Into<Cow<'static, str>>) -> Self {
+        StageSample {
+            stage: stage.into(),
+            gauge: None,
+            queue_depth: None,
+            in_flight: None,
+        }
+    }
+
+    /// Sets the protocol-progress gauge.
+    #[must_use]
+    pub fn with_gauge(mut self, gauge: u64) -> Self {
+        self.gauge = Some(gauge);
+        self
+    }
+
+    /// Sets the queue-depth gauge.
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: u64) -> Self {
+        self.queue_depth = Some(depth);
+        self
+    }
+
+    /// Sets the in-flight gauge.
+    #[must_use]
+    pub fn with_in_flight(mut self, in_flight: u64) -> Self {
+        self.in_flight = Some(in_flight);
+        self
+    }
 }
 
 /// Labels each executed round with the protocol stage it belongs to,
@@ -165,10 +316,7 @@ pub struct SingleStage(pub &'static str);
 
 impl<N> StageProbe<N> for SingleStage {
     fn sample(&mut self, _events: &RoundEvents, _nodes: &[N]) -> StageSample {
-        StageSample {
-            stage: Cow::Borrowed(self.0),
-            gauge: None,
-        }
+        StageSample::new(self.0)
     }
 }
 
@@ -223,11 +371,11 @@ pub struct TraceCollector<N> {
     rounds: u64,
     /// One past the last observed round.
     end_round: u64,
-    gauge_curve: Vec<(u64, u64)>,
-    /// Only every `gauge_stride`-th change-point is recorded after a
-    /// compaction (starts at 1 = record every change).
-    gauge_stride: u64,
-    gauge_seen: u64,
+    gauge_curve: CurveRec,
+    queue_curve: CurveRec,
+    in_flight_curve: CurveRec,
+    queue_stats: Option<GaugeStats>,
+    in_flight_stats: Option<GaugeStats>,
 }
 
 impl<N> std::fmt::Debug for TraceCollector<N> {
@@ -263,9 +411,11 @@ impl<N: Node> TraceCollector<N> {
             totals: CounterTotals::default(),
             rounds: 0,
             end_round: 0,
-            gauge_curve: Vec::new(),
-            gauge_stride: 1,
-            gauge_seen: 0,
+            gauge_curve: CurveRec::new(),
+            queue_curve: CurveRec::new(),
+            in_flight_curve: CurveRec::new(),
+            queue_stats: None,
+            in_flight_stats: None,
         }
     }
 
@@ -308,7 +458,19 @@ impl<N: Node> TraceCollector<N> {
         self.end_round = round + 1;
 
         if let Some(g) = s.gauge {
-            self.push_gauge(round, g);
+            self.gauge_curve.push(round, g);
+        }
+        if let Some(q) = s.queue_depth {
+            self.queue_curve.push(round, q);
+            self.queue_stats
+                .get_or_insert_with(GaugeStats::default)
+                .record(q);
+        }
+        if let Some(fl) = s.in_flight {
+            self.in_flight_curve.push(round, fl);
+            self.in_flight_stats
+                .get_or_insert_with(GaugeStats::default)
+                .record(fl);
         }
 
         if self.capacity > 0 {
@@ -347,31 +509,6 @@ impl<N: Node> TraceCollector<N> {
         });
     }
 
-    /// Records a gauge change-point, deterministically thinning the
-    /// curve when it outgrows its cap.
-    fn push_gauge(&mut self, round: u64, gauge: u64) {
-        if self.gauge_curve.last().is_some_and(|&(_, g)| g == gauge) {
-            return;
-        }
-        self.gauge_seen += 1;
-        // After a compaction only every `stride`-th change-point is
-        // kept, so the curve stays bounded and the retained subset is a
-        // pure function of the change sequence (thread-invariant).
-        if !(self.gauge_seen - 1).is_multiple_of(self.gauge_stride) {
-            return;
-        }
-        self.gauge_curve.push((round, gauge));
-        if self.gauge_curve.len() >= GAUGE_CURVE_CAPACITY {
-            let mut keep = 0;
-            for i in (0..self.gauge_curve.len()).step_by(2) {
-                self.gauge_curve[keep] = self.gauge_curve[i];
-                keep += 1;
-            }
-            self.gauge_curve.truncate(keep);
-            self.gauge_stride *= 2;
-        }
-    }
-
     /// Closes the open span and freezes the trace.
     #[must_use]
     pub fn finish(mut self) -> TraceReport {
@@ -390,7 +527,11 @@ impl<N: Node> TraceCollector<N> {
             spans: self.spans,
             samples_dropped: self.pushed - samples.len() as u64,
             samples,
-            gauge_curve: self.gauge_curve,
+            gauge_curve: self.gauge_curve.into_points(),
+            queue_curve: self.queue_curve.into_points(),
+            in_flight_curve: self.in_flight_curve.into_points(),
+            queue_stats: self.queue_stats,
+            in_flight_stats: self.in_flight_stats,
         }
     }
 }
@@ -441,6 +582,18 @@ pub struct TraceReport {
     pub samples_dropped: u64,
     /// Bounded change-point curve of the protocol-progress gauge.
     pub gauge_curve: Vec<(u64, u64)>,
+    /// Bounded change-point curve of the queue-depth gauge (empty if
+    /// the probe never reported one — all one-shot probes).
+    pub queue_curve: Vec<(u64, u64)>,
+    /// Bounded change-point curve of the in-flight gauge (empty if the
+    /// probe never reported one).
+    pub in_flight_curve: Vec<(u64, u64)>,
+    /// Exact max/mean of the queue-depth gauge over reporting rounds
+    /// (`None` if never reported). Computed from every sample, not the
+    /// thinned curve, so bound checks are exact.
+    pub queue_stats: Option<GaugeStats>,
+    /// Exact max/mean of the in-flight gauge over reporting rounds.
+    pub in_flight_stats: Option<GaugeStats>,
 }
 
 impl TraceReport {
@@ -493,6 +646,20 @@ impl TraceReport {
                 sp.end
             );
         }
+        // Streaming gauges: optional trailing sections, absent for
+        // one-shot probes so their pinned output is unchanged.
+        for &(round, depth) in &self.queue_curve {
+            let _ = writeln!(
+                out,
+                "{{\"type\": \"queue\", \"round\": {round}, \"depth\": {depth}}}"
+            );
+        }
+        for &(round, count) in &self.in_flight_curve {
+            let _ = writeln!(
+                out,
+                "{{\"type\": \"in_flight\", \"round\": {round}, \"count\": {count}}}"
+            );
+        }
         out
     }
 
@@ -522,6 +689,18 @@ impl TraceReport {
             events.push(format!(
                 "{{\"name\": \"gauge\", \"ph\": \"C\", \"ts\": {round}, \"pid\": 0, \
                  \"args\": {{\"value\": {gauge}}}}}"
+            ));
+        }
+        for &(round, depth) in &self.queue_curve {
+            events.push(format!(
+                "{{\"name\": \"queue_depth\", \"ph\": \"C\", \"ts\": {round}, \"pid\": 0, \
+                 \"args\": {{\"value\": {depth}}}}}"
+            ));
+        }
+        for &(round, count) in &self.in_flight_curve {
+            events.push(format!(
+                "{{\"name\": \"in_flight\", \"ph\": \"C\", \"ts\": {round}, \"pid\": 0, \
+                 \"args\": {{\"value\": {count}}}}}"
             ));
         }
         let mut out = String::from("[\n");
@@ -673,10 +852,8 @@ mod tests {
     struct Alternating;
     impl StageProbe<Chatty> for Alternating {
         fn sample(&mut self, events: &RoundEvents, _nodes: &[Chatty]) -> StageSample {
-            StageSample {
-                stage: Cow::Borrowed(if events.round % 4 < 2 { "even" } else { "odd" }),
-                gauge: Some(events.round),
-            }
+            StageSample::new(if events.round % 4 < 2 { "even" } else { "odd" })
+                .with_gauge(events.round)
         }
     }
 
@@ -804,6 +981,80 @@ mod tests {
         };
         assert_eq!(fold(&parts), fold(&parts));
         assert_eq!(fold(&parts).to_json(), fold(&parts).to_json());
+    }
+
+    /// Like [`Alternating`], plus streaming gauges: queue depth is a
+    /// triangle wave, in-flight a constant.
+    struct Streaming;
+    impl StageProbe<Chatty> for Streaming {
+        fn sample(&mut self, events: &RoundEvents, _nodes: &[Chatty]) -> StageSample {
+            StageSample::new("steady")
+                .with_queue_depth(events.round % 5)
+                .with_in_flight(3)
+        }
+    }
+
+    fn streaming_run(rounds: u64) -> TraceReport {
+        let g = topology::path(3).unwrap();
+        let nodes = (0..3).map(Chatty).collect();
+        let mut e = Engine::new(g, nodes, (0..3).map(NodeId::new)).unwrap();
+        let mut tc = TraceCollector::with_capacity(Box::new(Streaming), 64);
+        let mut inner = NoopObserver;
+        for _ in 0..rounds {
+            let mut tee = Traced {
+                inner: &mut inner,
+                collector: &mut tc,
+            };
+            e.step_observed(&mut tee);
+        }
+        tc.finish()
+    }
+
+    #[test]
+    fn curve_rec_skips_repeats_and_stays_bounded() {
+        let mut c = CurveRec::new();
+        for r in 0..10 {
+            c.push(r, r / 2); // values 0 0 1 1 2 2 ...
+        }
+        assert_eq!(c.points(), &[(0, 0), (2, 1), (4, 2), (6, 3), (8, 4)]);
+        // Drive far past capacity: stays bounded, stays chronological.
+        for r in 10..100_000 {
+            c.push(r, r);
+        }
+        assert!(c.points().len() < GAUGE_CURVE_CAPACITY);
+        assert!(c.points().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn queue_and_in_flight_gauges_are_recorded_exactly() {
+        let report = streaming_run(10);
+        let qs = report.queue_stats.expect("probe reports queue depth");
+        // round % 5 over 10 rounds: two periods of 0+1+2+3+4.
+        assert_eq!(qs.max, 4);
+        assert_eq!(qs.sum, 20);
+        assert_eq!(qs.rounds, 10);
+        assert!((qs.mean() - 2.0).abs() < 1e-12);
+        let fs = report.in_flight_stats.expect("probe reports in-flight");
+        assert_eq!((fs.max, fs.sum, fs.rounds), (3, 30, 10));
+        // The in-flight curve has one change-point (constant value).
+        assert_eq!(report.in_flight_curve, vec![(0, 3)]);
+        assert!(!report.queue_curve.is_empty());
+    }
+
+    #[test]
+    fn streaming_gauges_appear_in_exports_only_when_reported() {
+        let streaming = streaming_run(6);
+        assert!(streaming.to_jsonl().contains("\"type\": \"queue\""));
+        assert!(streaming.to_jsonl().contains("\"type\": \"in_flight\""));
+        assert!(streaming
+            .to_chrome_trace()
+            .contains("\"name\": \"queue_depth\""));
+        // One-shot probes never report them; their exports are unchanged.
+        let (oneshot, _) = traced_run(6, 64);
+        assert!(oneshot.queue_curve.is_empty());
+        assert!(oneshot.queue_stats.is_none());
+        assert!(!oneshot.to_jsonl().contains("\"type\": \"queue\""));
+        assert!(!oneshot.to_chrome_trace().contains("queue_depth"));
     }
 
     #[test]

@@ -65,6 +65,22 @@ grep -q '"per_stage"' target/E18_trace_smoke.json || {
     exit 1
 }
 
+# Streaming smoke: the quick E19 configuration runs a short λ-sweep of
+# the streaming (continuous-arrival) sessions in both pipeline modes.
+# The binary itself aborts on packet loss below the measured knee (the
+# delivery curve must be monotone in λ); the greps pin the JSON schema
+# markers the plotting consumers key on — the sweep entries, the
+# one-shot reference service rates and the per-(topology, mode) knees.
+KB_SCALE=quick KB_E19_OUT=target/E19_saturation_smoke.json \
+    cargo run --release -q -p kbcast-bench --bin exp_e19_saturation
+for marker in '"experiment": "E19_saturation"' '"entries"' '"references"' \
+    '"knees"' '"knee_lambda"' '"queue_max"' '"p99"'; do
+    grep -q "$marker" target/E19_saturation_smoke.json || {
+        echo "check.sh: streaming smoke JSON lacks $marker" >&2
+        exit 1
+    }
+done
+
 # Engine-throughput regression gate (KB_SKIP_PERF=1 skips the ~1 min
 # benchmark, e.g. on loaded or throttled machines where wall-clock
 # numbers are meaningless).

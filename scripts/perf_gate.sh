@@ -20,6 +20,12 @@
 # the committed baseline is for machine variance, not for
 # instrumentation cost).
 #
+# The streaming arrival seam is likewise zero-cost here: one-shot
+# sessions use run_session / run_session_with, which run_streaming
+# wraps rather than modifies — no TrafficSource type reaches the
+# one-shot path, so the loop this script gates monomorphizes without
+# any injection hook.
+#
 # The absolute floors additionally pin the word-parallel + activity-hint
 # engine's order of magnitude, so a regression cannot slip through by
 # also regenerating the baseline file: the reference machine measures

@@ -1,0 +1,174 @@
+//! Streaming-session determinism: a golden pin for one small streaming
+//! scenario in both pipeline modes, plus the validation surface of the
+//! streaming entry point.
+//!
+//! The pins are the streaming analogue of `engine_bit_identity.rs`: if
+//! any of these numbers move, a change has altered the simulated
+//! execution (RNG draw order, injection timing, lane scheduling, stamp
+//! placement) rather than just its reporting — bump them only with a
+//! changelog note explaining why the schedule legitimately changed.
+
+use kbcast::dynamic::{run_streaming, Arrival, PipelineMode};
+use kbcast::runner::RunOptions;
+use radio_net::topology::Topology;
+
+/// A fixed little schedule: two round-0 packets (waking the network)
+/// and three later arrivals spread over nodes and time.
+fn arrivals() -> Vec<Arrival> {
+    vec![
+        Arrival {
+            round: 0,
+            node: 0,
+            payload: vec![0xA0],
+        },
+        Arrival {
+            round: 0,
+            node: 5,
+            payload: vec![0xA5],
+        },
+        Arrival {
+            round: 1_500,
+            node: 3,
+            payload: vec![0xB3],
+        },
+        Arrival {
+            round: 2_200,
+            node: 7,
+            payload: vec![0xB7],
+        },
+        Arrival {
+            round: 4_000,
+            node: 1,
+            payload: vec![0xC1],
+        },
+    ]
+}
+
+struct Golden {
+    mode: PipelineMode,
+    rounds: u64,
+    transmissions: u64,
+    receptions: u64,
+    collisions: u64,
+    wakeups: u64,
+    epochs: usize,
+    latencies: &'static [u64],
+}
+
+#[test]
+fn streaming_golden_pins() {
+    let goldens = [
+        Golden {
+            mode: PipelineMode::Sequential,
+            rounds: GOLDEN_SEQ.0,
+            transmissions: GOLDEN_SEQ.1,
+            receptions: GOLDEN_SEQ.2,
+            collisions: GOLDEN_SEQ.3,
+            wakeups: GOLDEN_SEQ.4,
+            epochs: GOLDEN_SEQ.5,
+            latencies: GOLDEN_SEQ.6,
+        },
+        Golden {
+            mode: PipelineMode::Interleaved,
+            rounds: GOLDEN_TDM.0,
+            transmissions: GOLDEN_TDM.1,
+            receptions: GOLDEN_TDM.2,
+            collisions: GOLDEN_TDM.3,
+            wakeups: GOLDEN_TDM.4,
+            epochs: GOLDEN_TDM.5,
+            latencies: GOLDEN_TDM.6,
+        },
+    ];
+    let arrivals = arrivals();
+    for g in &goldens {
+        let r = run_streaming(
+            &Topology::Grid2d { rows: 3, cols: 3 },
+            &arrivals,
+            None,
+            g.mode,
+            42,
+            200_000,
+            RunOptions {
+                verify: true,
+                trace: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("pinned streaming scenario runs");
+        assert!(r.success, "{:?}: {r:?}", g.mode);
+        assert_eq!(r.rounds_total, g.rounds, "{:?}: rounds", g.mode);
+        assert_eq!(
+            r.stats.transmissions, g.transmissions,
+            "{:?}: transmissions",
+            g.mode
+        );
+        assert_eq!(r.stats.receptions, g.receptions, "{:?}: receptions", g.mode);
+        assert_eq!(r.stats.collisions, g.collisions, "{:?}: collisions", g.mode);
+        assert_eq!(r.stats.wakeups, g.wakeups, "{:?}: wakeups", g.mode);
+        assert_eq!(r.batches.len(), g.epochs, "{:?}: epochs", g.mode);
+        assert_eq!(r.latencies, g.latencies, "{:?}: latencies", g.mode);
+    }
+}
+
+// (rounds, transmissions, receptions, collisions, wakeups, epochs, latencies)
+const GOLDEN_SEQ: (u64, u64, u64, u64, u64, usize, &[u64]) = (
+    10081,
+    1007,
+    1381,
+    462,
+    7,
+    3,
+    &[3432, 3434, 4498, 5198, 5961],
+);
+const GOLDEN_TDM: (u64, u64, u64, u64, u64, usize, &[u64]) = (
+    15843,
+    1004,
+    1391,
+    452,
+    7,
+    3,
+    &[3558, 3564, 7386, 8086, 11610],
+);
+
+#[test]
+fn streaming_rejects_invalid_specs() {
+    use radio_net::error::Error;
+    let topo = Topology::Grid2d { rows: 3, cols: 3 };
+    let opts = RunOptions::default();
+    let all = arrivals();
+
+    let r = run_streaming(&topo, &all, None, PipelineMode::Sequential, 1, 0, opts);
+    assert!(matches!(r, Err(Error::InvalidParameter { .. })), "{r:?}");
+
+    let no_wake: Vec<Arrival> = all.iter().filter(|a| a.round > 0).cloned().collect();
+    let r = run_streaming(
+        &topo,
+        &no_wake,
+        None,
+        PipelineMode::Sequential,
+        1,
+        1_000,
+        opts,
+    );
+    assert!(matches!(r, Err(Error::InvalidParameter { .. })), "{r:?}");
+
+    let mut oob = all.clone();
+    oob[0].node = 99;
+    let r = run_streaming(&topo, &oob, None, PipelineMode::Sequential, 1, 1_000, opts);
+    assert!(matches!(r, Err(Error::InvalidParameter { .. })), "{r:?}");
+
+    let bad_opts = RunOptions {
+        loss_rate: f64::NAN,
+        ..RunOptions::default()
+    };
+    let r = run_streaming(
+        &topo,
+        &all,
+        None,
+        PipelineMode::Sequential,
+        1,
+        1_000,
+        bad_opts,
+    );
+    assert!(matches!(r, Err(Error::InvalidParameter { .. })), "{r:?}");
+}
