@@ -89,6 +89,38 @@ pub enum PipelineMode {
     Interleaved,
 }
 
+impl PipelineMode {
+    /// The protocol name this mode runs as — the same string
+    /// [`StreamProtocol`] reports and [`FromStr`](std::str::FromStr)
+    /// accepts, so services can select modes by name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineMode::Sequential => "stream-seq",
+            PipelineMode::Interleaved => "stream-tdm",
+        }
+    }
+}
+
+impl std::str::FromStr for PipelineMode {
+    type Err = radio_net::error::Error;
+
+    /// Parses a streaming protocol name. `"dynamic"` (the sequential
+    /// one-shot protocol's name) is accepted as an alias for
+    /// [`PipelineMode::Sequential`], which is bit-identical to it.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "stream-seq" | "seq" | "sequential" | "dynamic" => Ok(PipelineMode::Sequential),
+            "stream-tdm" | "tdm" | "interleaved" => Ok(PipelineMode::Interleaved),
+            other => Err(radio_net::error::Error::InvalidParameter {
+                reason: format!(
+                    "unknown streaming protocol {other:?} (expected stream-seq/stream-tdm)"
+                ),
+            }),
+        }
+    }
+}
+
 /// One epoch whose collection has closed, queued for the dissemination
 /// lane (interleaved mode).
 #[derive(Debug)]
@@ -1278,7 +1310,7 @@ impl BroadcastProtocol for DynamicProtocol<'_> {
 /// *last* node, minus its birth round — counted only once every node
 /// holds it. This is end-to-end broadcast latency measured per packet,
 /// not inferred from batch boundaries.
-fn stamp_latencies(arrivals: &[Arrival], nodes: &[DynamicNode]) -> Vec<u64> {
+pub fn stamp_latencies(arrivals: &[Arrival], nodes: &[DynamicNode]) -> Vec<u64> {
     // Reconstruct each arrival's key: per-node sequence numbers are
     // assigned in schedule order by `inject_at`.
     let mut seq_at: Vec<u32> = vec![0; nodes.len()];
@@ -1332,10 +1364,7 @@ impl BroadcastProtocol for StreamProtocol<'_> {
     type Meta = DynamicMeta;
 
     fn name(&self) -> &'static str {
-        match self.mode {
-            PipelineMode::Sequential => "stream-seq",
-            PipelineMode::Interleaved => "stream-tdm",
-        }
+        self.mode.name()
     }
 
     fn build(

@@ -388,6 +388,18 @@ impl EpochConservation {
         }
     }
 
+    /// Grows the expected key set mid-session — the incremental-
+    /// injection counterpart of passing the full set to
+    /// [`EpochConservation::new`], for services that learn arrivals one
+    /// `inject` request at a time. Sound because a key can only appear
+    /// in an epoch after its packet was injected, so registering it at
+    /// injection time precedes any round that could carry it.
+    pub fn expect(&mut self, key: PacketKey) {
+        if let Err(pos) = self.expected.binary_search(&key) {
+            self.expected.insert(pos, key);
+        }
+    }
+
     fn expects(&self, key: PacketKey) -> bool {
         self.expected.binary_search(&key).is_ok()
     }

@@ -407,6 +407,14 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
         &self.faults
     }
 
+    /// Mutable access to the fault model, so a long-running harness can
+    /// swap fault behaviour between rounds (e.g. a service flipping a
+    /// runtime-dispatched [`crate::faults::BuiltFaults`] mid-session).
+    /// Future rounds consult the new model; past rounds are unaffected.
+    pub fn faults_mut(&mut self) -> &mut F {
+        &mut self.faults
+    }
+
     /// Executes one synchronous round and returns its outcome.
     ///
     /// Each phase touches only the nodes that matter: phase 1 polls the
@@ -870,13 +878,30 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
         max_rounds: u64,
         obs: &mut O,
         source: &mut S,
+        drained: impl FnMut(&Self) -> bool,
+    ) -> SessionEnd {
+        let horizon = self.round.saturating_add(max_rounds);
+        self.run_streaming_until(horizon, obs, source, drained)
+    }
+
+    /// [`Engine::run_streaming`] with an *absolute* round horizon, so a
+    /// paused streaming session can resume mid-run: the budget is the
+    /// distance from the current round to `horizon`, and injection is
+    /// gated on the absolute round rather than a relative budget. From
+    /// round 0 the two entry points are identical.
+    pub fn run_streaming_until<O: Observer<N>, S: crate::session::TrafficSource<N>>(
+        &mut self,
+        horizon: u64,
+        obs: &mut O,
+        source: &mut S,
         mut drained: impl FnMut(&Self) -> bool,
     ) -> SessionEnd {
-        self.run_session_with(max_rounds, obs, |e| {
+        let budget = horizon.saturating_sub(self.round);
+        self.run_session_with(budget, obs, |e| {
             if e.round() > 0 && source.exhausted() && drained(e) {
                 return SessionControl::Stop;
             }
-            if e.round() < max_rounds {
+            if e.round() < horizon {
                 source.inject(e);
             }
             SessionControl::Continue

@@ -509,6 +509,34 @@ impl<N: Node> TraceCollector<N> {
         });
     }
 
+    /// A [`TraceSummary`] of everything recorded so far, without
+    /// freezing the collector — the live-snapshot counterpart of
+    /// [`TraceReport::summary`] for long-running sessions (e.g. a
+    /// service answering a `snapshot` request mid-run). The currently
+    /// open span, if any, is counted as if it closed at the last
+    /// observed round; recording may continue afterwards.
+    #[must_use]
+    pub fn snapshot_summary(&self) -> TraceSummary {
+        let open_stage = self.open.map(|(stage, _)| stage as usize);
+        TraceSummary {
+            runs: 1,
+            rounds: self.rounds,
+            totals: self.totals,
+            stages: self
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(i, s)| StageAgg {
+                    name: s.name.clone(),
+                    runs: 1,
+                    spans: s.spans + u64::from(open_stage == Some(i)),
+                    rounds: s.rounds,
+                    totals: s.totals,
+                })
+                .collect(),
+        }
+    }
+
     /// Closes the open span and freezes the trace.
     #[must_use]
     pub fn finish(mut self) -> TraceReport {
@@ -899,6 +927,29 @@ mod tests {
         assert_eq!(covered, 12);
         let stage_rounds: u64 = report.stages.iter().map(|s| s.rounds).sum();
         assert_eq!(stage_rounds, report.rounds);
+    }
+
+    #[test]
+    fn snapshot_summary_matches_finished_summary() {
+        let g = topology::path(3).unwrap();
+        let nodes = (0..3).map(Chatty).collect();
+        let mut e = Engine::new(g, nodes, (0..3).map(NodeId::new)).unwrap();
+        let mut tc = TraceCollector::with_capacity(Box::new(Alternating), 64);
+        let mut inner = NoopObserver;
+        for _ in 0..12 {
+            let mut tee = Traced {
+                inner: &mut inner,
+                collector: &mut tc,
+            };
+            e.step_observed(&mut tee);
+        }
+        // The snapshot must equal the frozen summary: the open span is
+        // counted as-if closed at the last observed round.
+        let snap = tc.snapshot_summary();
+        assert_eq!(snap, tc.finish().summary());
+        assert_eq!(snap.rounds, 12);
+        let spans: u64 = snap.stages.iter().map(|s| s.spans).sum();
+        assert_eq!(spans, 6);
     }
 
     #[test]

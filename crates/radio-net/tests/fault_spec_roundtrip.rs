@@ -1,0 +1,100 @@
+//! Parse↔display round-trip law for [`FaultSpec`]: any spec's
+//! `Display` form must re-parse to the same spec, so fault specs echoed
+//! by result files and `kbcast-serve` responses can be fed back in
+//! verbatim (`set_faults` with a string previously returned by `query`).
+//!
+//! The generator covers every fault family plus flat stacks of 2..4
+//! components. Two shapes are deliberately excluded because their
+//! `Display` form is not canonical: empty stacks (print as `""`, which
+//! is a parse error) and one-element stacks (print without `+`, so they
+//! re-parse to the bare variant) — `FromStr` never produces either.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use radio_net::faults::FaultSpec;
+
+/// Raw integer material for one stack component; the test body maps it
+/// onto a concrete variant. Probabilities are exact 1/1024 fractions
+/// (f64 `Display` uses the shortest representation that round-trips, so
+/// any f64 works — the fractions just keep the printed specs short).
+/// `z`'s parity doubles as the has-downtime flag (the shim's tuple
+/// strategies stop at 8 elements).
+type Raw = (usize, u32, u32, u32, u32, u64, u64, u64);
+
+fn frac(num: u32) -> f64 {
+    f64::from(num % 1024) / 1024.0
+}
+
+fn component((kind, a, b, c, d, x, y, z): Raw) -> FaultSpec {
+    match kind % 6 {
+        0 => FaultSpec::None,
+        1 => FaultSpec::Uniform { rate: frac(a) },
+        2 => FaultSpec::Gilbert {
+            p_bad: frac(a),
+            p_good: frac(b),
+            loss_good: frac(c),
+            loss_bad: frac(d),
+        },
+        3 => FaultSpec::Crash {
+            fraction: frac(a),
+            from: x,
+            until: x.saturating_add(y.max(1)),
+            downtime: (z % 2 == 1).then_some(z / 2),
+        },
+        4 => FaultSpec::Jam { budget: x },
+        _ => FaultSpec::Wakeup { rate: frac(a) },
+    }
+}
+
+proptest! {
+    #[test]
+    fn display_reparses_to_the_same_spec(
+        raws in vec(
+            (0usize..6, 0u32..2048, 0u32..2048, 0u32..2048, 0u32..2048,
+             0u64..100_000, 0u64..100_000, 0u64..100_000),
+            1..5,
+        ),
+    ) {
+        let spec = if raws.len() == 1 {
+            component(raws[0])
+        } else {
+            FaultSpec::Stack(raws.iter().copied().map(component).collect())
+        };
+        let text = spec.to_string();
+        let reparsed: FaultSpec = text
+            .parse()
+            .unwrap_or_else(|e| panic!("{text:?} failed to re-parse: {e}"));
+        prop_assert_eq!(reparsed, spec);
+    }
+}
+
+/// Extremes the randomized fractions never hit: u64::MAX windows,
+/// rate-zero loss, never-recovering crashes, non-dyadic floats.
+#[test]
+fn display_reparses_edge_specs() {
+    let specs = [
+        FaultSpec::Uniform { rate: 0.1 },
+        FaultSpec::Wakeup { rate: 1.0 },
+        FaultSpec::Crash {
+            fraction: 0.25,
+            from: 0,
+            until: u64::MAX,
+            downtime: None,
+        },
+        FaultSpec::Jam { budget: u64::MAX },
+        FaultSpec::Gilbert {
+            p_bad: 0.01,
+            p_good: 0.1,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+        },
+        FaultSpec::Stack(vec![FaultSpec::None, FaultSpec::None]),
+    ];
+    for spec in specs {
+        let text = spec.to_string();
+        let reparsed: FaultSpec = text
+            .parse()
+            .unwrap_or_else(|e| panic!("{text:?} failed to re-parse: {e}"));
+        assert_eq!(reparsed, spec, "{text:?}");
+    }
+}

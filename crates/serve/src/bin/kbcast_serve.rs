@@ -1,0 +1,38 @@
+//! The service binary: one session per process, JSON lines over
+//! stdin/stdout. See DESIGN.md §"Service front-end" for the grammar.
+//!
+//! Robustness contract: malformed input of any shape gets a structured
+//! `{"ok":false,...}` response and the process keeps serving. Even a
+//! panic inside request handling (which would be a bug) is caught and
+//! reported as an error response rather than killing the session.
+
+use std::io::{BufRead, Write};
+use std::panic::AssertUnwindSafe;
+
+use kbcast_serve::service::Service;
+
+fn main() {
+    // A panic in a handler must not unwind into abort-on-drop land;
+    // silence the default hook's stderr spew — the error response is
+    // the report.
+    std::panic::set_hook(Box::new(|_| {}));
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut service = Service::new();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = std::panic::catch_unwind(AssertUnwindSafe(|| service.handle_line(&line)))
+            .unwrap_or_else(|_| {
+                r#"{"ok":false,"error":"internal panic while handling the request"}"#.to_string()
+            });
+        let _ = writeln!(out, "{resp}");
+        let _ = out.flush();
+        if service.is_done() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! A minimal JSON value type with a hand-rolled parser and serializer.
+//!
+//! The build environment has no crates.io access (see DESIGN.md
+//! §"Offline builds"), so the line protocol cannot use `serde`. This
+//! module implements exactly the subset the protocol needs: compact
+//! one-line serialization, a recursive-descent parser, and *exact*
+//! integer round-tripping — seeds and round numbers are `u64`s that
+//! must not pass through `f64` (2^53 truncation), so integers that fit
+//! `u64`/`i64` are kept in dedicated variants.
+
+use std::fmt;
+
+/// A parsed JSON value. Object member order is preserved (golden
+/// transcript tests compare serialized lines byte-for-byte).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
+    UInt(u64),
+    /// A negative integer that fits `i64`, kept exact.
+    Int(i64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in member order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (`None` on other variants).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert; precision may be lost
+    /// above 2^53 — use [`Json::as_u64`] for counters and seeds).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        match *self {
+            Json::UInt(v) => Some(v as f64),
+            Json::Int(v) => Some(v as f64),
+            Json::Num(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document, rejecting trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax error, with its
+    /// byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact (no-whitespace) serialization; objects keep member order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::UInt(v) => write!(f, "{v}"),
+            Json::Int(v) => write!(f, "{v}"),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    // JSON has no NaN/Infinity; null is the least-bad spelling.
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(members) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // Surrogates are rejected rather than paired; the
+                        // protocol never emits them.
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so byte
+                // boundaries are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| "invalid UTF-8 in string")?;
+                out.push_str(chunk);
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad number")?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    // Integers that fit native types stay exact; everything else is f64.
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::UInt(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Json::Int(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_documents() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "42",
+            "-7",
+            "1.5",
+            "18446744073709551615",
+            "\"hi\"",
+            "\"a\\\"b\\\\c\\n\"",
+            "[]",
+            "[1,2,3]",
+            "{}",
+            "{\"op\":\"init\",\"seed\":12345678901234567890,\"nested\":{\"a\":[1,null]}}",
+        ] {
+            let v = Json::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(v.to_string(), text, "compact form must round-trip");
+            assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn big_integers_stay_exact() {
+        let v = Json::parse("9007199254740993").unwrap(); // 2^53 + 1
+        assert_eq!(v.as_u64(), Some(9_007_199_254_740_993));
+        assert_eq!(v.to_string(), "9007199254740993");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "1 2",
+            "{\"a\":1,}",
+            "nul",
+            "-",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.to_string(), "{\"a\":[1,2]}");
+    }
+}

@@ -1,0 +1,29 @@
+//! kbcast-serve: a persistent radio-network service and its workload
+//! driver.
+//!
+//! Two binaries around one library:
+//!
+//! * **`kbcast-serve`** — owns one simulated radio network as a
+//!   long-running process and speaks a JSON-lines request/response
+//!   protocol over stdin/stdout ([`proto`] defines the grammar,
+//!   [`service`] the semantics). Rounds advance only on explicit run
+//!   requests; everything else (injection, fault flips, queries) is
+//!   wall-clock ingestion layered over the library's streaming seam,
+//!   so the simulation semantics are byte-for-byte the in-process
+//!   ones.
+//! * **`kbcast-drive`** — spawns service processes (or embeds the
+//!   [`service::Service`] in-process), replays heavy traffic from
+//!   generator specs or recorded JSONL sessions, checks delivery, and
+//!   reports sustained throughput and latency percentiles
+//!   ([`driver`]).
+//!
+//! The [`json`] module is the hand-rolled codec both sides share — the
+//! workspace builds offline, so there is no serde; integers round-trip
+//! exactly up to `u64::MAX` (seeds need this).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod json;
+pub mod proto;
+pub mod service;

@@ -81,6 +81,39 @@ for marker in '"experiment": "E19_saturation"' '"entries"' '"references"' \
     }
 done
 
+# Service smoke: the kbcast-serve / kbcast-drive pair end to end. The
+# driver generates a short heavy-ish session (with a mid-run set_faults
+# flip and recovery), records its request script, runs it against a
+# spawned kbcast-serve child per session AND the embedded in-process
+# service, and exits non-zero unless the two outcomes match exactly and
+# every packet was delivered with zero verify violations. The recorded
+# script is then piped into a bare kbcast-serve process and the response
+# stream is grepped for the line-protocol schema markers external
+# consumers key on.
+cargo build --release -q -p kbcast-serve
+./target/release/kbcast-drive \
+    --sessions 2 --topology 'grid(3x4)' --protocol stream-seq \
+    --seed 5 --lambda 0.01 --window 2000 \
+    --flip 'uniform:rate=0.02@600+1500' --verify \
+    --serve target/release/kbcast-serve --compare \
+    --record target/serve_smoke_session.jsonl \
+    > target/serve_smoke_report.txt
+grep -q 'delivered=true' target/serve_smoke_report.txt || {
+    echo "check.sh: serve smoke report lacks delivered=true" >&2
+    exit 1
+}
+./target/release/kbcast-serve \
+    < target/serve_smoke_session.jsonl \
+    > target/serve_smoke_responses.jsonl
+for marker in '"ok":true' '"op":"init"' '"op":"inject"' '"op":"set_faults"' \
+    '"op":"run_until_drained"' '"completed":true' '"all_delivered":true' \
+    '"violations":0' '"p99"' '"throughput"' '"op":"shutdown"'; do
+    grep -q "$marker" target/serve_smoke_responses.jsonl || {
+        echo "check.sh: serve smoke responses lack $marker" >&2
+        exit 1
+    }
+done
+
 # Engine-throughput regression gate (KB_SKIP_PERF=1 skips the ~1 min
 # benchmark, e.g. on loaded or throttled machines where wall-clock
 # numbers are meaningless).

@@ -26,6 +26,12 @@
 # one-shot path, so the loop this script gates monomorphizes without
 # any injection hook.
 #
+# The kbcast-serve front-end sits strictly downstream of that seam: the
+# service drives Engine::run_streaming_until (the absolute-horizon form
+# run_streaming delegates to) and adds no code to radio-net or kbcast
+# beyond that resumable entry point, so the library one-shot path this
+# gate measures is untouched by the service crate.
+#
 # The absolute floors additionally pin the word-parallel + activity-hint
 # engine's order of magnitude, so a regression cannot slip through by
 # also regenerating the baseline file: the reference machine measures
