@@ -310,6 +310,7 @@ impl StageProbe<BiiNode> for BiiStageProbe {
 
 impl BroadcastProtocol for BiiProtocol {
     type Node = BiiNode;
+    type Cd = radio_net::NoCd;
     type Obs = NoopObserver;
     type Meta = ();
 

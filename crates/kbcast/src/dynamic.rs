@@ -1092,7 +1092,10 @@ impl ScheduleSource {
 }
 
 impl TrafficSource<DynamicNode> for ScheduleSource {
-    fn inject<F: FaultModel>(&mut self, engine: &mut Engine<DynamicNode, F>) {
+    fn inject<F: FaultModel, C: radio_net::CdModel>(
+        &mut self,
+        engine: &mut Engine<DynamicNode, F, C>,
+    ) {
         let round = engine.round();
         if let Some(batch) = self.schedule.remove(&round) {
             for (node, payload) in batch {
@@ -1181,6 +1184,7 @@ impl StageProbe<DynamicNode> for DynamicStageProbe {
 
 impl BroadcastProtocol for DynamicProtocol<'_> {
     type Node = DynamicNode;
+    type Cd = radio_net::NoCd;
     type Obs = NoopObserver;
     type Meta = DynamicMeta;
 
@@ -1360,6 +1364,7 @@ pub struct StreamProtocol<'a> {
 
 impl BroadcastProtocol for StreamProtocol<'_> {
     type Node = DynamicNode;
+    type Cd = radio_net::NoCd;
     type Obs = NoopObserver;
     type Meta = DynamicMeta;
 

@@ -37,6 +37,7 @@ pub mod analysis;
 pub mod baseline;
 pub mod config;
 pub mod dynamic;
+pub mod ghk;
 pub mod messages;
 pub mod node;
 pub mod packet;
@@ -47,6 +48,7 @@ pub mod stage4;
 pub mod verify;
 
 pub use config::Config;
+pub use ghk::{GhkConfig, GhkMeta, GhkProtocol};
 pub use node::KbcastNode;
 pub use packet::{Packet, PacketKey};
 pub use runner::{run, CodedProtocol, RunReport, Workload};

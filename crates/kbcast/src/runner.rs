@@ -532,6 +532,7 @@ pub struct KbcastMeta {
 
 impl BroadcastProtocol for CodedProtocol {
     type Node = KbcastNode;
+    type Cd = radio_net::NoCd;
     type Obs = StageObserver;
     type Meta = KbcastMeta;
 

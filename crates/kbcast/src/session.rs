@@ -25,7 +25,7 @@
 //! accessor — and inheriting the driver, the verification and the
 //! whole sweep/table toolchain for free.
 
-use radio_net::engine::{Engine, Node};
+use radio_net::engine::{CdModel, Engine, Node};
 use radio_net::error::Error;
 use radio_net::faults::{FaultModel, NoFaults};
 use radio_net::graph::{Graph, NodeId};
@@ -70,6 +70,14 @@ impl NetParams {
 pub trait BroadcastProtocol {
     /// The per-node protocol state machine.
     type Node: Node;
+    /// The channel model this protocol assumes: [`radio_net::NoCd`]
+    /// for the paper's silence-equals-collision model (every protocol
+    /// predating the CD extension), [`radio_net::WithCd`] for
+    /// collision-detection protocols in the
+    /// Ghaffari–Haeupler–Khabbazian style. The driver builds the
+    /// engine — and configures the [`ModelChecker`]'s CD axiom — from
+    /// this type, so a protocol can never run on the wrong channel.
+    type Cd: CdModel;
     /// The observer that instruments a session of this protocol.
     type Obs: Observer<Self::Node>;
     /// Protocol-specific completion metadata assembled by
@@ -117,7 +125,7 @@ pub trait BroadcastProtocol {
     /// a [`VerifyStack`] under [`RunOptions::verify`].
     fn drive<F: FaultModel, O: Observer<Self::Node>>(
         &self,
-        engine: &mut Engine<Self::Node, F>,
+        engine: &mut Engine<Self::Node, F, Self::Cd>,
         cap: u64,
         obs: &mut O,
     ) -> SessionEnd {
@@ -311,9 +319,10 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
     // from independent state.
     let mut stack: Option<VerifyStack<P::Node>> = if options.verify {
         let mut stack = VerifyStack::new();
-        stack.push(Box::new(ModelChecker::new(
+        stack.push(Box::new(ModelChecker::new_with_cd(
             graph.clone(),
             awake.iter().copied(),
+            P::Cd::ENABLED,
         )));
         let clean = !F::ENABLED && options.loss_rate == 0.0;
         for check in protocol.verify_checks(&net, workload, clean) {
@@ -335,7 +344,7 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
         None
     };
 
-    let mut engine = Engine::with_faults(graph, nodes, awake, faults)?;
+    let mut engine = Engine::<P::Node, F, P::Cd>::with_faults_cd(graph, nodes, awake, faults)?;
     if options.loss_rate > 0.0 {
         engine.set_loss(options.loss_rate, seed)?;
     }

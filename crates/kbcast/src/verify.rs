@@ -611,6 +611,7 @@ mod tests {
 
     impl BroadcastProtocol for Tampered {
         type Node = KbcastNode;
+        type Cd = radio_net::NoCd;
         type Obs = <CodedProtocol as BroadcastProtocol>::Obs;
         type Meta = <CodedProtocol as BroadcastProtocol>::Meta;
 

@@ -35,6 +35,7 @@ pub(crate) trait DetailSink {
     fn jammed(&mut self, listener: u32);
     fn crashed_listener(&mut self, listener: u32);
     fn wakeup_suppressed(&mut self, listener: u32);
+    fn noise(&mut self, listener: u32);
 }
 
 /// The do-nothing sink behind plain [`Engine::step`].
@@ -60,6 +61,8 @@ impl DetailSink for NoDetail {
     fn crashed_listener(&mut self, _listener: u32) {}
     #[inline(always)]
     fn wakeup_suppressed(&mut self, _listener: u32) {}
+    #[inline(always)]
+    fn noise(&mut self, _listener: u32) {}
 }
 
 impl DetailSink for RoundRecord {
@@ -91,6 +94,47 @@ impl DetailSink for RoundRecord {
     fn wakeup_suppressed(&mut self, listener: u32) {
         self.wakeups_suppressed.push(listener);
     }
+    fn noise(&mut self, listener: u32) {
+        self.noise.push(listener);
+    }
+}
+
+/// Type-level collision-detection capability of an [`Engine`].
+///
+/// The seed paper's model is *without* collision detection: a listener
+/// cannot distinguish silence from a collision. Two follow-up papers
+/// (Ghaffari–Haeupler–Khabbazian; Andriambolamalala–Ravelomanana)
+/// change exactly that one axiom — with CD, the channel is
+/// three-valued per round: silence / message / collision-noise.
+///
+/// This trait selects between the two models the same way
+/// [`FaultModel::ENABLED`] selects fault hooks: the default [`NoCd`]
+/// has `ENABLED = false`, so every CD branch in
+/// [`Engine::step`] monomorphizes away and the word-parallel no-CD
+/// hot loop compiles to exactly the pre-CD code. [`WithCd`] engines
+/// take the per-listener slow path and report collision-noise to
+/// awake, non-crashed listeners via [`Node::collision_heard`].
+pub trait CdModel {
+    /// Whether listeners can detect collisions. `false` compiles every
+    /// CD hook out of the hot loop.
+    const ENABLED: bool;
+}
+
+/// No collision detection (the seed paper's model; the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCd;
+
+impl CdModel for NoCd {
+    const ENABLED: bool = false;
+}
+
+/// Collision detection enabled: awake listeners observe a three-valued
+/// channel and get [`Node::collision_heard`] on collision or jamming.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WithCd;
+
+impl CdModel for WithCd {
+    const ENABLED: bool = true;
 }
 
 /// A per-node protocol state machine driven by the [`Engine`].
@@ -125,6 +169,23 @@ pub trait Node {
         false
     }
 
+    /// Called when the node is awake, listening, and the channel
+    /// carries collision-noise this round — two or more neighbors
+    /// transmitted (or a jammer struck) and the engine runs with
+    /// collision detection ([`WithCd`]).
+    ///
+    /// `NoCd` engines never call this: under the seed paper's model a
+    /// collision is indistinguishable from silence, so the default
+    /// no-op keeps every existing protocol valid in both models.
+    /// Like [`Node::receive`], a call voids any outstanding
+    /// [`Node::next_activity`] parking promise — the engine resumes
+    /// polling from the next round. Sleeping nodes hear nothing
+    /// (noise carries no message and cannot wake a node); crashed
+    /// listeners are deaf.
+    fn collision_heard(&mut self, round: u64) {
+        let _ = round;
+    }
+
     /// The earliest future round at which this node may act again —
     /// the engine's permission to skip polls ("parking").
     ///
@@ -157,8 +218,15 @@ pub trait Node {
 /// every fault hook out of the hot loop — an `Engine<N>` is exactly the
 /// clean-channel engine. Construct faulted engines with
 /// [`Engine::with_faults`].
+///
+/// The third type parameter is the collision-detection capability (see
+/// [`CdModel`]). It defaults to [`NoCd`] — the seed paper's model, where
+/// a collision is indistinguishable from silence — and every CD branch
+/// is behind `if C::ENABLED`, so a `NoCd` engine monomorphizes to
+/// exactly the pre-CD hot loop. Construct CD engines with
+/// [`Engine::with_faults_cd`].
 #[derive(Debug)]
-pub struct Engine<N: Node, F: FaultModel = NoFaults> {
+pub struct Engine<N: Node, F: FaultModel = NoFaults, C: CdModel = NoCd> {
     graph: Graph,
     nodes: Vec<N>,
     awake: Vec<bool>,
@@ -234,6 +302,18 @@ pub struct Engine<N: Node, F: FaultModel = NoFaults> {
     /// prove [`crate::verify::ModelChecker`] catches a broken engine.
     #[cfg(test)]
     pub(crate) force_deliver_on_collision: bool,
+    /// Test-only CD sabotage: report collision-noise to listeners with a
+    /// single transmitting neighbor (a false positive against the CD
+    /// axiom). Proves the checker's noise-entry validation works.
+    #[cfg(test)]
+    pub(crate) force_noise_on_unique: bool,
+    /// Test-only CD sabotage: swallow the collision-noise observation on
+    /// genuine collisions (silence where the CD axiom demands noise).
+    /// Proves the checker's noise completeness check works.
+    #[cfg(test)]
+    pub(crate) force_silence_on_collision: bool,
+    /// Zero-sized witness of the collision-detection capability.
+    _cd: std::marker::PhantomData<C>,
 }
 
 impl<N: Node> Engine<N> {
@@ -262,11 +342,35 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
     /// Creates an engine like [`Engine::new`] but driven by the given
     /// fault model (see [`crate::faults`] for the hook semantics).
     ///
+    /// The result has no collision detection ([`NoCd`]); use
+    /// [`Engine::with_faults_cd`] to pick the capability by type.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::NodeCountMismatch`] if `nodes.len() != graph.len()`
     /// and [`Error::NodeOutOfRange`] if an initially-awake id is invalid.
     pub fn with_faults(
+        graph: Graph,
+        nodes: Vec<N>,
+        initially_awake: impl IntoIterator<Item = NodeId>,
+        faults: F,
+    ) -> Result<Self, Error> {
+        Self::with_faults_cd(graph, nodes, initially_awake, faults)
+    }
+}
+
+impl<N: Node, F: FaultModel, C: CdModel> Engine<N, F, C> {
+    /// Creates an engine like [`Engine::with_faults`] with the
+    /// collision-detection capability chosen by the `C` type parameter
+    /// (struct defaults don't drive inference at call sites, so the CD
+    /// capability is picked here, e.g.
+    /// `Engine::<_, _, WithCd>::with_faults_cd(...)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeCountMismatch`] if `nodes.len() != graph.len()`
+    /// and [`Error::NodeOutOfRange`] if an initially-awake id is invalid.
+    pub fn with_faults_cd(
         graph: Graph,
         nodes: Vec<N>,
         initially_awake: impl IntoIterator<Item = NodeId>,
@@ -327,6 +431,11 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
             detail: RoundRecord::default(),
             #[cfg(test)]
             force_deliver_on_collision: false,
+            #[cfg(test)]
+            force_noise_on_unique: false,
+            #[cfg(test)]
+            force_silence_on_collision: false,
+            _cd: std::marker::PhantomData,
         })
     }
 
@@ -364,6 +473,23 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
             if self.awake[i] {
                 self.active.insert(i);
             }
+        }
+    }
+
+    /// Delivers a collision-noise observation to awake listener `v`
+    /// (CD engines only): fires [`Node::collision_heard`], voids the
+    /// node's parking promise (hearing noise is an externally visible
+    /// event the activity hint could not have promised away), refreshes
+    /// its done flag, and records a `noise` detail entry.
+    #[inline]
+    fn hear_noise<R: DetailSink>(&mut self, v: usize, v32: u32, round: u64, sink: &mut R) {
+        self.nodes[v].collision_heard(round);
+        self.unpark(v);
+        if !self.done[v] {
+            self.refresh_done(v);
+        }
+        if R::ENABLED {
+            sink.noise(v32);
         }
     }
 
@@ -582,13 +708,28 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
         let force_deliver = self.force_deliver_on_collision;
         #[cfg(not(test))]
         let force_deliver = false;
+        #[cfg(test)]
+        let force_noise = self.force_noise_on_unique;
+        #[cfg(not(test))]
+        let force_noise = false;
+        #[cfg(test)]
+        let force_silence = self.force_silence_on_collision;
+        #[cfg(not(test))]
+        let force_silence = false;
         // The bare word-parallel path: collisions are counted with one
         // popcount per word and only unique receivers are visited
         // per-bit. Anything that needs per-listener decisions or events
         // — fault hooks, loss RNG draws (whose order anchors
-        // bit-identity), detail sinks, the test sabotage switch — takes
-        // the per-bit slow path instead. Both constants monomorphize.
-        let word_fast = !F::ENABLED && !R::ENABLED && self.loss.is_none() && !force_deliver;
+        // bit-identity), detail sinks, collision detection, the test
+        // sabotage switches — takes the per-bit slow path instead. All
+        // of these constants monomorphize.
+        let word_fast = !F::ENABLED
+            && !R::ENABLED
+            && !C::ENABLED
+            && self.loss.is_none()
+            && !force_deliver
+            && !force_noise
+            && !force_silence;
         for widx in 0..self.touched_words.len() {
             let wi = self.touched_words[widx] as usize;
             let base = wi << 6;
@@ -649,9 +790,16 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
                     if R::ENABLED {
                         sink.jammed(v32);
                     }
+                    // Jamming is channel noise: to a CD listener it is
+                    // indistinguishable from a genuine collision, so an
+                    // awake jammed listener hears collision-noise (a
+                    // no-CD listener still just hears silence).
+                    if C::ENABLED && self.awake[v] {
+                        self.hear_noise(v, v32, round, sink);
+                    }
                     continue;
                 }
-                let unique_rx = self.twos[wi] & vbit == 0 || force_deliver;
+                let unique_rx = (self.twos[wi] & vbit == 0 && !force_noise) || force_deliver;
                 if unique_rx {
                     // Fault-model loss first, then the legacy `set_loss`
                     // noise. Both streams advance at the same sequence
@@ -717,6 +865,13 @@ impl<N: Node, F: FaultModel> Engine<N, F> {
                     self.stats.collisions += 1;
                     if R::ENABLED {
                         sink.collision(v32);
+                    }
+                    // The CD axiom: an awake, non-crashed, non-jammed
+                    // listener with ≥ 2 transmitting neighbors observes
+                    // collision-noise. Sleeping listeners hear nothing
+                    // (noise carries no message and cannot wake).
+                    if C::ENABLED && self.awake[v] && !force_silence {
+                        self.hear_noise(v, v32, round, sink);
                     }
                 }
             }
@@ -1000,10 +1155,12 @@ mod tests {
     use super::*;
     use crate::topology;
 
-    /// Transmits `plan[round]` each round; records receptions.
+    /// Transmits `plan[round]` each round; records receptions and (on
+    /// CD engines) collision-noise observations.
     struct Scripted {
         plan: Vec<Option<u32>>,
         received: Vec<(u64, u32)>,
+        noise_rounds: Vec<u64>,
     }
 
     impl Scripted {
@@ -1011,6 +1168,7 @@ mod tests {
             Scripted {
                 plan,
                 received: Vec::new(),
+                noise_rounds: Vec::new(),
             }
         }
 
@@ -1026,6 +1184,9 @@ mod tests {
         }
         fn receive(&mut self, round: u64, msg: &u32) {
             self.received.push((round, *msg));
+        }
+        fn collision_heard(&mut self, round: u64) {
+            self.noise_rounds.push(round);
         }
     }
 
@@ -1460,6 +1621,241 @@ mod tests {
         let dropped: usize = rec.events.iter().map(|ev| ev.faults.dropped).sum();
         assert_eq!(dropped as u64, e.stats().dropped);
         assert!(dropped > 0);
+    }
+
+    fn cd_engine<F: FaultModel>(
+        g: Graph,
+        nodes: Vec<Scripted>,
+        awake: Vec<NodeId>,
+        faults: F,
+    ) -> Engine<Scripted, F, WithCd> {
+        Engine::with_faults_cd(g, nodes, awake, faults).unwrap()
+    }
+
+    #[test]
+    fn cd_listener_hears_noise_on_collision() {
+        // Star: leaves 1 and 2 collide at the hub. With CD the hub
+        // observes collision-noise; the transmitting leaves (half-
+        // duplex) and the uninvolved leaf 3 hear nothing.
+        let g = topology::star(4).unwrap();
+        let nodes = vec![
+            Scripted::silent(),
+            Scripted::new(vec![Some(1)]),
+            Scripted::new(vec![Some(2)]),
+            Scripted::silent(),
+        ];
+        let mut e = cd_engine(g, nodes, all_awake(4), NoFaults);
+        let out = e.step();
+        assert_eq!(out.collisions, 1);
+        assert_eq!(e.node(NodeId::new(0)).noise_rounds, vec![0]);
+        assert!(e.node(NodeId::new(1)).noise_rounds.is_empty());
+        assert!(e.node(NodeId::new(2)).noise_rounds.is_empty());
+        assert!(e.node(NodeId::new(3)).noise_rounds.is_empty());
+    }
+
+    #[test]
+    fn nocd_engine_never_calls_the_hook() {
+        let g = topology::star(3).unwrap();
+        let nodes = vec![
+            Scripted::silent(),
+            Scripted::new(vec![Some(1)]),
+            Scripted::new(vec![Some(2)]),
+        ];
+        let mut e = Engine::new(g, nodes, all_awake(3)).unwrap();
+        let out = e.step();
+        assert_eq!(out.collisions, 1);
+        assert!(e.node(NodeId::new(0)).noise_rounds.is_empty());
+    }
+
+    #[test]
+    fn cd_sleeping_listener_hears_nothing_and_stays_asleep() {
+        // Same collision, but the hub sleeps: noise carries no message
+        // and cannot wake a node.
+        let g = topology::star(3).unwrap();
+        let nodes = vec![
+            Scripted::silent(),
+            Scripted::new(vec![Some(1)]),
+            Scripted::new(vec![Some(2)]),
+        ];
+        let mut e = cd_engine(g, nodes, vec![NodeId::new(1), NodeId::new(2)], NoFaults);
+        e.step();
+        assert!(!e.is_awake(NodeId::new(0)));
+        assert!(e.node(NodeId::new(0)).noise_rounds.is_empty());
+    }
+
+    #[test]
+    fn cd_jammed_listener_hears_noise_not_silence() {
+        // Path 0-1: a single transmitter, but rounds 0 and 1 are jammed
+        // — to a CD listener jamming is indistinguishable from a
+        // collision, so node 1 hears noise in exactly those rounds.
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new((0..4).map(|_| Some(7)).collect()),
+            Scripted::silent(),
+        ];
+        let faults = crate::faults::AdversarialJammer::new(2);
+        let mut e = cd_engine(g, nodes, all_awake(2), faults);
+        for _ in 0..4 {
+            e.step();
+        }
+        assert_eq!(e.node(NodeId::new(1)).noise_rounds, vec![0, 1]);
+        let got: Vec<u64> = e
+            .node(NodeId::new(1))
+            .received
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(got, vec![2, 3]);
+        assert_eq!(e.stats().jammed, 2);
+    }
+
+    #[test]
+    fn cd_crashed_listener_is_deaf_to_noise() {
+        // Star hub crashed while the leaves collide: fail-stop nodes
+        // are deaf to noise as well as to messages.
+        let g = topology::star(3).unwrap();
+        let nodes = vec![
+            Scripted::silent(),
+            Scripted::new((0..4).map(|_| Some(1)).collect()),
+            Scripted::new((0..4).map(|_| Some(2)).collect()),
+        ];
+        // Crash everyone from round 1 onward: leaves stop transmitting
+        // too, so only round 0 has a collision at the (not yet crashed)
+        // hub — crash at round 1+ must produce zero further noise.
+        let faults = crate::faults::CrashSchedule::new(3, 1.0, 1, 2, None, 0).unwrap();
+        let mut e = cd_engine(g, nodes, all_awake(3), faults);
+        for _ in 0..4 {
+            e.step();
+        }
+        assert_eq!(e.node(NodeId::new(0)).noise_rounds, vec![0]);
+    }
+
+    #[test]
+    fn cd_engine_outcomes_are_bit_identical_to_nocd() {
+        // The CD hook adds an observation channel but never changes the
+        // round outcomes, stats, or receptions of a no-CD run.
+        let build = || {
+            let g = topology::star(6).unwrap();
+            let nodes = (0..6)
+                .map(|i| Scripted::new((0..20).map(|r| (r % 3 == i % 3).then_some(i)).collect()))
+                .collect::<Vec<_>>();
+            (g, nodes)
+        };
+        let (g, nodes) = build();
+        let mut a = Engine::new(g, nodes, all_awake(6)).unwrap();
+        let (g, nodes) = build();
+        let mut b = cd_engine(g, nodes, all_awake(6), NoFaults);
+        for _ in 0..20 {
+            assert_eq!(a.step(), b.step());
+        }
+        assert_eq!(a.stats(), b.stats());
+        for i in 0..6 {
+            assert_eq!(
+                e_received(&a, i),
+                e_received_cd(&b, i),
+                "receptions diverged at node {i}"
+            );
+        }
+        assert!(
+            (0..6).any(|i| !b.node(NodeId::new(i)).noise_rounds.is_empty()),
+            "test should exercise noise"
+        );
+    }
+
+    fn e_received(e: &Engine<Scripted>, i: usize) -> &[(u64, u32)] {
+        &e.node(NodeId::new(i)).received
+    }
+
+    fn e_received_cd(e: &Engine<Scripted, NoFaults, WithCd>, i: usize) -> &[(u64, u32)] {
+        &e.node(NodeId::new(i)).received
+    }
+
+    #[test]
+    fn cd_noise_unparks_a_parked_node() {
+        // A parked node that hears noise must be re-polled from the
+        // next round (hearing noise is externally visible state).
+        struct Parker {
+            polls: Vec<u64>,
+            noise_rounds: Vec<u64>,
+        }
+        impl Node for Parker {
+            type Msg = u32;
+            fn poll(&mut self, round: u64) -> Option<u32> {
+                self.polls.push(round);
+                None
+            }
+            fn receive(&mut self, _round: u64, _msg: &u32) {}
+            fn collision_heard(&mut self, round: u64) {
+                self.noise_rounds.push(round);
+            }
+            fn next_activity(&self, _round: u64) -> u64 {
+                u64::MAX // park forever unless an observation arrives
+            }
+        }
+        struct Shouter;
+        impl Node for Shouter {
+            type Msg = u32;
+            fn poll(&mut self, _round: u64) -> Option<u32> {
+                Some(1)
+            }
+            fn receive(&mut self, _round: u64, _msg: &u32) {}
+        }
+        // Star: both leaves shout forever; the hub parks after round 0
+        // but noise re-activates it every round.
+        let g = topology::star(3).unwrap();
+        let hub = Parker {
+            polls: Vec::new(),
+            noise_rounds: Vec::new(),
+        };
+        enum Either {
+            Hub(Parker),
+            Leaf(Shouter),
+        }
+        impl Node for Either {
+            type Msg = u32;
+            fn poll(&mut self, round: u64) -> Option<u32> {
+                match self {
+                    Either::Hub(p) => p.poll(round),
+                    Either::Leaf(s) => s.poll(round),
+                }
+            }
+            fn receive(&mut self, round: u64, msg: &u32) {
+                match self {
+                    Either::Hub(p) => p.receive(round, msg),
+                    Either::Leaf(s) => s.receive(round, msg),
+                }
+            }
+            fn collision_heard(&mut self, round: u64) {
+                if let Either::Hub(p) = self {
+                    p.collision_heard(round);
+                }
+            }
+            fn next_activity(&self, round: u64) -> u64 {
+                match self {
+                    Either::Hub(p) => p.next_activity(round),
+                    Either::Leaf(_) => round + 1,
+                }
+            }
+        }
+        let nodes = vec![
+            Either::Hub(hub),
+            Either::Leaf(Shouter),
+            Either::Leaf(Shouter),
+        ];
+        let mut e: Engine<Either, NoFaults, WithCd> =
+            Engine::with_faults_cd(g, nodes, all_awake(3), NoFaults).unwrap();
+        for _ in 0..4 {
+            e.step();
+        }
+        match e.node(NodeId::new(0)) {
+            Either::Hub(p) => {
+                assert_eq!(p.noise_rounds, vec![0, 1, 2, 3]);
+                // Parked after each poll, unparked by each noise event:
+                // polled every round.
+                assert_eq!(p.polls, vec![0, 1, 2, 3]);
+            }
+            Either::Leaf(_) => unreachable!(),
+        }
     }
 
     #[test]

@@ -11,10 +11,18 @@
 //! In every round each awake node either transmits one message or listens.
 //! A listening node **receives** a message in a round if and only if
 //! *exactly one* of its neighbors transmits in that round; otherwise it
-//! hears nothing — there is **no collision detection** (silence and
-//! collision are indistinguishable). A transmitting node receives nothing
-//! (half-duplex). Sleeping nodes never transmit but are woken by their
-//! first successful reception, exactly like the paper's wake-up rule.
+//! hears nothing — by default there is **no collision detection**
+//! (silence and collision are indistinguishable). A transmitting node
+//! receives nothing (half-duplex). Sleeping nodes never transmit but are
+//! woken by their first successful reception, exactly like the paper's
+//! wake-up rule.
+//!
+//! The collision-detection axiom is a type-level toggle
+//! ([`engine::CdModel`]): an `Engine<_, _, WithCd>` gives awake
+//! listeners a three-valued channel (silence / message /
+//! collision-noise, via [`engine::Node::collision_heard`]) as in the
+//! Ghaffari–Haeupler–Khabbazian line of work, while the default
+//! [`engine::NoCd`] compiles to exactly the no-CD hot loop.
 //!
 //! ## Crate layout
 //!
@@ -110,7 +118,7 @@ pub mod trace;
 pub mod verify;
 pub mod viz;
 
-pub use engine::{Engine, Node};
+pub use engine::{CdModel, Engine, NoCd, Node, WithCd};
 pub use error::Error;
 pub use faults::{
     AdversarialJammer, BuiltFaults, CrashSchedule, FaultEvents, FaultModel, FaultSpec,

@@ -14,7 +14,7 @@
 //! — which is now a `NoopObserver` session — compiles to the same hot
 //! loop it had before observers existed.
 
-use crate::engine::{Engine, Node};
+use crate::engine::{CdModel, Engine, Node};
 use crate::faults::{FaultEvents, FaultModel};
 
 /// Everything that happened on the channel in one executed round.
@@ -91,6 +91,15 @@ pub struct RoundDetail<'a> {
     /// Sleeping listeners whose would-be first reception was suppressed
     /// by wake-up corruption (they stay asleep).
     pub wakeups_suppressed: &'a [u32],
+    /// Awake listeners that observed collision-noise this round —
+    /// collision-detection engines ([`crate::engine::WithCd`]) only;
+    /// always empty under [`crate::engine::NoCd`].
+    ///
+    /// Informational, like [`Self::woken`]: it does not extend the
+    /// outcome partition above. A noisy listener's channel outcome is
+    /// still its entry in [`Self::collisions`] or [`Self::jammed`];
+    /// this list additionally records that the CD hook fired for it.
+    pub noise: &'a [u32],
 }
 
 /// Reusable engine-side buffer behind [`RoundDetail`]: owns the lists,
@@ -107,6 +116,7 @@ pub(crate) struct RoundRecord {
     pub(crate) jammed: Vec<u32>,
     pub(crate) crashed: Vec<u32>,
     pub(crate) wakeups_suppressed: Vec<u32>,
+    pub(crate) noise: Vec<u32>,
 }
 
 impl RoundRecord {
@@ -120,6 +130,7 @@ impl RoundRecord {
         self.jammed.clear();
         self.crashed.clear();
         self.wakeups_suppressed.clear();
+        self.noise.clear();
     }
 
     pub(crate) fn detail(&self, round: u64) -> RoundDetail<'_> {
@@ -134,6 +145,7 @@ impl RoundRecord {
             jammed: &self.jammed,
             crashed: &self.crashed,
             wakeups_suppressed: &self.wakeups_suppressed,
+            noise: &self.noise,
         }
     }
 }
@@ -202,8 +214,10 @@ pub trait TrafficSource<N: Node> {
     /// Injects this round's arrivals (if any) into the engine. Called
     /// once before every round with the engine positioned at
     /// [`Engine::round`](crate::engine::Engine::round) == the round
-    /// about to execute.
-    fn inject<F: FaultModel>(&mut self, engine: &mut Engine<N, F>);
+    /// about to execute. Generic over the engine's fault and
+    /// collision-detection models: injection is a harness-side event
+    /// and behaves the same in both channel models.
+    fn inject<F: FaultModel, C: CdModel>(&mut self, engine: &mut Engine<N, F, C>);
 
     /// `true` once the source will never inject again (a bounded
     /// schedule ran out, or a generator hit its packet budget). An

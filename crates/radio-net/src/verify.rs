@@ -17,6 +17,11 @@
 //!   trace reports separately).
 //! - **Collision = silence** — two or more transmitting neighbors
 //!   produce a collision event, never a delivery.
+//! - **The CD axiom** (collision-detection engines only, see
+//!   [`ModelChecker::new_with_cd`]) — an awake, non-transmitting,
+//!   non-crashed listener observes collision-noise *iff* it heard two
+//!   or more masked transmitters or was jammed; a no-CD engine must
+//!   never report noise at all.
 //! - **Fault consistency** — drops, jams, crash-silences and suppressed
 //!   wake-ups in the trace match the per-round [`RoundEvents`] fault
 //!   counters, so injected adversity is accounted for exactly once.
@@ -151,6 +156,19 @@ pub struct ModelChecker {
     /// `fault_mark[v] == gen` marks `v` as silenced by a fault (jam or
     /// crash) this round — the two outcomes that can mask a collision.
     fault_mark: Vec<u64>,
+    /// `jam_mark[v] == gen` marks `v` as jammed this round (the fault
+    /// that reads as collision-noise to a CD listener).
+    jam_mark: Vec<u64>,
+    /// `crash_mark[v] == gen` marks `v` as crash-silenced this round
+    /// (deaf: must not hear collision-noise either).
+    crash_mark: Vec<u64>,
+    /// `noise_mark[v] == gen` marks `v` as having observed
+    /// collision-noise this round (CD engines only).
+    noise_mark: Vec<u64>,
+    /// Whether the checked engine runs with collision detection
+    /// ([`crate::engine::WithCd`]): enables the CD-axiom re-derivation;
+    /// when `false`, any reported noise is itself a violation.
+    cd: bool,
     /// Listeners adjacent to ≥1 transmitter, rebuilt per round.
     touched: Vec<u32>,
     /// Collisions re-derived from the graph and transmit set alone
@@ -173,6 +191,25 @@ impl ModelChecker {
     /// Panics if an initially-awake id is out of range.
     #[must_use]
     pub fn new(graph: Graph, initially_awake: impl IntoIterator<Item = NodeId>) -> Self {
+        Self::new_with_cd(graph, initially_awake, false)
+    }
+
+    /// [`ModelChecker::new`] with the collision-detection capability of
+    /// the engine under check made explicit. With `cd = true` the
+    /// checker re-derives the CD axiom each round: an awake,
+    /// non-transmitting, non-crashed listener must observe
+    /// collision-noise iff it heard ≥ 2 masked transmitters or was
+    /// jammed. With `cd = false`, any reported noise is a violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initially-awake id is out of range.
+    #[must_use]
+    pub fn new_with_cd(
+        graph: Graph,
+        initially_awake: impl IntoIterator<Item = NodeId>,
+        cd: bool,
+    ) -> Self {
         let n = graph.len();
         let mut awake = vec![false; n];
         for id in initially_awake {
@@ -191,6 +228,10 @@ impl ModelChecker {
             delivered_mark: vec![0; n],
             woken_mark: vec![0; n],
             fault_mark: vec![0; n],
+            jam_mark: vec![0; n],
+            crash_mark: vec![0; n],
+            noise_mark: vec![0; n],
+            cd,
             touched: Vec::new(),
             derived_collisions: 0,
             pending: None,
@@ -365,6 +406,7 @@ impl ModelChecker {
             }
             self.account(round, l, "jam");
             self.fault_mark[l as usize] = gen;
+            self.jam_mark[l as usize] = gen;
             if self.stamp[l as usize] != gen {
                 self.log.record(
                     round,
@@ -383,6 +425,7 @@ impl ModelChecker {
             self.account(round, l, "crash silence");
             let li = l as usize;
             self.fault_mark[li] = gen;
+            self.crash_mark[li] = gen;
             if self.stamp[li] != gen {
                 self.log.record(
                     round,
@@ -411,6 +454,64 @@ impl ModelChecker {
                 self.log.record(
                     round,
                     format!("suppressed wake-up at {l} without a unique transmitter"),
+                );
+            }
+        }
+
+        // CD noise entries (informational, alongside the outcome
+        // partition): each must name an awake, non-transmitting,
+        // non-crashed listener that actually heard ≥ 2 masked
+        // transmitters or was jammed. Under a no-CD engine the list
+        // must be empty. The awake bits are still the pre-round state
+        // here (radio wake-ups are applied below), which is exactly
+        // right: noise carries no message and cannot wake a sleeper.
+        for &l in d.noise {
+            let li = l as usize;
+            if li >= n {
+                self.log
+                    .record(round, format!("collision-noise at invalid node {l}"));
+                continue;
+            }
+            if !self.cd {
+                self.log.record(
+                    round,
+                    format!("collision-noise at {l} reported by a no-CD engine"),
+                );
+            }
+            if self.noise_mark[li] == gen {
+                self.log
+                    .record(round, format!("duplicate collision-noise at {l}"));
+                continue;
+            }
+            self.noise_mark[li] = gen;
+            if self.tx_mark[li] == gen {
+                self.log.record(
+                    round,
+                    format!("half-duplex violated: transmitter {l} heard collision-noise"),
+                );
+            }
+            if !self.awake[li] {
+                self.log
+                    .record(round, format!("sleeping node {l} heard collision-noise"));
+            }
+            if self.crash_mark[li] == gen {
+                self.log.record(
+                    round,
+                    format!("crashed (deaf) listener {l} heard collision-noise"),
+                );
+            }
+            let heard = if self.stamp[li] == gen {
+                self.heard[li]
+            } else {
+                0
+            };
+            if heard < 2 && self.jam_mark[li] != gen {
+                self.log.record(
+                    round,
+                    format!(
+                        "collision-noise at {l} with {heard} transmitting neighbor(s) \
+                         and no jam (CD axiom)"
+                    ),
                 );
             }
         }
@@ -453,6 +554,30 @@ impl ModelChecker {
                     format!(
                         "listener {v} heard {} transmitter(s) but has no recorded outcome",
                         self.heard[vi]
+                    ),
+                );
+            }
+            // CD completeness: the noise the axiom demands was actually
+            // observed. Safe against the awake bits having been updated
+            // by the woken pass above: a woken node received (exactly
+            // one transmitter, not jammed), so it never enters here.
+            if self.cd
+                && self.awake[vi]
+                && self.crash_mark[vi] != gen
+                && (self.heard[vi] >= 2 || self.jam_mark[vi] == gen)
+                && self.noise_mark[vi] != gen
+            {
+                self.log.record(
+                    round,
+                    format!(
+                        "CD listener {v} heard {} transmitter(s){} but no \
+                         collision-noise was recorded (CD axiom)",
+                        self.heard[vi],
+                        if self.jam_mark[vi] == gen {
+                            " under jamming"
+                        } else {
+                            ""
+                        }
                     ),
                 );
             }
@@ -855,6 +980,7 @@ mod tests {
                 jammed: &[],
                 crashed: &[],
                 wakeups_suppressed: &[],
+                noise: &[],
             },
             &nodes,
         );
@@ -881,6 +1007,7 @@ mod tests {
             jammed: &[],
             crashed: &[],
             wakeups_suppressed: &[],
+            noise: &[],
         });
         assert!(count > 0);
         assert!(summary.contains("half-duplex"), "{summary}");
@@ -900,6 +1027,7 @@ mod tests {
             jammed: &[],
             crashed: &[],
             wakeups_suppressed: &[],
+            noise: &[],
         });
         assert!(count > 0);
         assert!(summary.contains("exactly-one axiom"), "{summary}");
@@ -919,6 +1047,7 @@ mod tests {
             jammed: &[],
             crashed: &[],
             wakeups_suppressed: &[],
+            noise: &[],
         });
         assert!(count > 0);
         assert!(summary.contains("unique transmitting"), "{summary}");
@@ -938,6 +1067,7 @@ mod tests {
             jammed: &[],
             crashed: &[],
             wakeups_suppressed: &[],
+            noise: &[],
         });
         assert!(count > 0);
         assert!(summary.contains("no recorded outcome"), "{summary}");
@@ -956,6 +1086,7 @@ mod tests {
             jammed: &[],
             crashed: &[],
             wakeups_suppressed: &[],
+            noise: &[],
         });
         assert!(count > 0);
         assert!(summary.contains("collision at 1 with 1"), "{summary}");
@@ -979,6 +1110,7 @@ mod tests {
                 jammed: &[],
                 crashed: &[],
                 wakeups_suppressed: &[],
+                noise: &[],
             },
             &nodes,
         );
@@ -1008,6 +1140,7 @@ mod tests {
                 jammed: &[],
                 crashed: &[],
                 wakeups_suppressed: &[],
+                noise: &[],
             },
             &nodes,
         );
@@ -1040,12 +1173,207 @@ mod tests {
                     jammed: &[],
                     crashed: &[],
                     wakeups_suppressed: &[],
+                    noise: &[],
                 },
                 &nodes,
             );
         }
         assert!(Check::<Scripted>::violations(&checker).len() <= super::STORED_VIOLATIONS);
         assert!(Check::<Scripted>::total_violations(&checker) >= 100);
+    }
+
+    fn cd_stack(graph: &Graph, awake: &[NodeId]) -> VerifyStack<Scripted> {
+        let mut stack = VerifyStack::new();
+        stack.push(Box::new(ModelChecker::new_with_cd(
+            graph.clone(),
+            awake.iter().copied(),
+            true,
+        )));
+        stack
+    }
+
+    fn cd_engine(
+        g: Graph,
+        nodes: Vec<Scripted>,
+        awake: Vec<NodeId>,
+    ) -> Engine<Scripted, crate::faults::NoFaults, crate::engine::WithCd> {
+        Engine::with_faults_cd(g, nodes, awake, crate::faults::NoFaults).unwrap()
+    }
+
+    #[test]
+    fn cd_clean_run_has_no_violations() {
+        // Star with colliding leaves and a delivery round: the CD
+        // engine reports noise at the hub and the checker re-derives
+        // exactly that from the transmit set.
+        let g = topology::star(4).unwrap();
+        let nodes = vec![
+            Scripted::silent(),
+            Scripted::new(vec![Some(1), Some(1)]),
+            Scripted::new(vec![Some(2), None]),
+            Scripted::silent(),
+        ];
+        let awake = all_awake(4);
+        let mut stack = cd_stack(g_ref(&g), &awake);
+        let mut e = cd_engine(g, nodes, awake);
+        for _ in 0..3 {
+            e.step_observed(&mut stack);
+        }
+        assert!(stack.is_clean(), "{}", stack.summary(8));
+        assert!(e.stats().collisions > 0, "test should exercise collisions");
+    }
+
+    #[test]
+    fn cd_sabotage_noise_on_unique_transmitter_is_caught() {
+        // Path: node 0 is the only transmitter; the sabotaged engine
+        // reports collision-noise at node 1 anyway. Both the collision
+        // entry (heard == 1) and the noise entry violate the axioms.
+        let g = topology::path(3).unwrap();
+        let nodes = vec![
+            Scripted::new(vec![Some(7)]),
+            Scripted::silent(),
+            Scripted::silent(),
+        ];
+        let awake = all_awake(3);
+        let mut stack = cd_stack(g_ref(&g), &awake);
+        let mut e = cd_engine(g, nodes, awake);
+        e.force_noise_on_unique = true;
+        e.step_observed(&mut stack);
+        assert!(!stack.is_clean(), "sabotage must be detected");
+        let all = stack.summary(8);
+        assert!(
+            all.contains("collision at 1 with 1"),
+            "expected the single-transmitter collision violation, got:\n{all}"
+        );
+        assert!(
+            all.contains("CD axiom"),
+            "expected the CD-axiom noise violation, got:\n{all}"
+        );
+    }
+
+    #[test]
+    fn cd_sabotage_silence_on_collision_is_caught() {
+        // Star: the leaves genuinely collide at the hub, but the
+        // sabotaged engine swallows the noise observation — the CD
+        // completeness check must notice the silence.
+        let g = topology::star(3).unwrap();
+        let nodes = vec![
+            Scripted::silent(),
+            Scripted::new(vec![Some(1)]),
+            Scripted::new(vec![Some(2)]),
+        ];
+        let awake = all_awake(3);
+        let mut stack = cd_stack(g_ref(&g), &awake);
+        let mut e = cd_engine(g, nodes, awake);
+        e.force_silence_on_collision = true;
+        e.step_observed(&mut stack);
+        assert!(!stack.is_clean(), "sabotage must be detected");
+        let all = stack.summary(8);
+        assert!(
+            all.contains("no collision-noise was recorded"),
+            "expected the CD completeness violation, got:\n{all}"
+        );
+    }
+
+    #[test]
+    fn cd_sabotages_pass_the_nocd_checker_shape() {
+        // Sanity for the sabotage pair: an honest CD run with the same
+        // topology is clean, so the two tests above fail for the
+        // sabotage and not for the setup.
+        let g = topology::star(3).unwrap();
+        let nodes = vec![
+            Scripted::silent(),
+            Scripted::new(vec![Some(1)]),
+            Scripted::new(vec![Some(2)]),
+        ];
+        let awake = all_awake(3);
+        let mut stack = cd_stack(g_ref(&g), &awake);
+        let mut e = cd_engine(g, nodes, awake);
+        e.step_observed(&mut stack);
+        assert!(stack.is_clean(), "{}", stack.summary(8));
+    }
+
+    #[test]
+    fn fabricated_noise_from_nocd_engine_is_caught() {
+        // A no-CD checker (cd = false) must reject any noise entry,
+        // even one that would satisfy the CD axiom.
+        let (count, summary) = run_fabricated(&RoundDetail {
+            round: 0,
+            transmitters: &[0, 2],
+            deliveries: &[],
+            collisions: &[1],
+            woken: &[],
+            external_wakes: &[],
+            dropped: &[],
+            jammed: &[],
+            crashed: &[],
+            wakeups_suppressed: &[],
+            noise: &[1],
+        });
+        assert!(count > 0);
+        assert!(summary.contains("no-CD engine"), "{summary}");
+    }
+
+    #[test]
+    fn fabricated_crashed_listener_noise_is_caught() {
+        // CD checker: node 1 is crash-silenced (deaf) yet the trace
+        // claims it heard collision-noise.
+        let g = topology::path(3).unwrap();
+        let mut checker = ModelChecker::new_with_cd(g, all_awake(3), true);
+        let nodes: [Scripted; 0] = [];
+        Check::<Scripted>::on_round_detail(
+            &mut checker,
+            &RoundDetail {
+                round: 0,
+                transmitters: &[0, 2],
+                deliveries: &[],
+                collisions: &[],
+                woken: &[],
+                external_wakes: &[],
+                dropped: &[],
+                jammed: &[],
+                crashed: &[1],
+                wakeups_suppressed: &[],
+                noise: &[1],
+            },
+            &nodes,
+        );
+        let v = Check::<Scripted>::violations(&checker);
+        assert!(
+            v.iter().any(|v| v.message.contains("crashed (deaf)")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn fabricated_jammed_cd_listener_without_noise_is_caught() {
+        // CD checker: node 1 is jammed (which a CD listener must hear
+        // as noise) but the trace records no noise for it.
+        let g = topology::path(3).unwrap();
+        let mut checker = ModelChecker::new_with_cd(g, all_awake(3), true);
+        let nodes: [Scripted; 0] = [];
+        Check::<Scripted>::on_round_detail(
+            &mut checker,
+            &RoundDetail {
+                round: 0,
+                transmitters: &[0],
+                deliveries: &[],
+                collisions: &[],
+                woken: &[],
+                external_wakes: &[],
+                dropped: &[],
+                jammed: &[1],
+                crashed: &[],
+                wakeups_suppressed: &[],
+                noise: &[],
+            },
+            &nodes,
+        );
+        let v = Check::<Scripted>::violations(&checker);
+        assert!(
+            v.iter()
+                .any(|v| v.message.contains("no collision-noise was recorded")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -13,18 +13,29 @@
 //!   samples with isolated nodes;
 //! * hinted nodes — scripts that additionally implement
 //!   [`Node::next_activity`] from their plan, exercising the engine's
-//!   park/unpark machinery against the always-polling reference.
+//!   park/unpark machinery against the always-polling reference;
+//! * the CD differential — the same script run on `Engine<_, _, NoCd>`
+//!   and `Engine<_, _, WithCd>` must produce bit-identical outcomes,
+//!   receptions and stats (collision-noise is informational only), and
+//!   the `WithCd` noise log must match the reference derivation
+//!   "awake non-transmitting listener with >= 2 transmitting
+//!   neighbors" while the `NoCd` hook never fires at all.
 
 use proptest::prelude::*;
-use radio_net::engine::{Engine, Node};
+use radio_net::engine::{CdModel, Engine, Node};
+use radio_net::faults::NoFaults;
 use radio_net::graph::{Graph, NodeId};
 use radio_net::stats::{RoundOutcome, SimStats};
+use radio_net::{NoCd, WithCd};
 
 /// A node that transmits per a fixed script and records receptions.
 struct Scripted {
     /// `plan[r]` = message to transmit in round `r` (if any).
     plan: Vec<Option<u32>>,
     received: Vec<(u64, u32)>,
+    /// Rounds in which [`Node::collision_heard`] fired (only ever
+    /// populated on a `WithCd` engine).
+    noise: Vec<u64>,
     /// Whether [`Node::next_activity`] reads the plan (else the
     /// poll-every-round default).
     hinted: bool,
@@ -37,6 +48,9 @@ impl Node for Scripted {
     }
     fn receive(&mut self, round: u64, msg: &u32) {
         self.received.push((round, *msg));
+    }
+    fn collision_heard(&mut self, round: u64) {
+        self.noise.push(round);
     }
     fn next_activity(&self, round: u64) -> u64 {
         if !self.hinted {
@@ -53,14 +67,17 @@ impl Node for Scripted {
 /// Brute-force reference: replays the same script independently with a
 /// dense O(n·Δ) per-round scan — the pre-optimization semantics the
 /// active-set engine must reproduce bit for bit. Returns each node's
-/// reception sequence plus the per-round [`RoundOutcome`]s.
+/// reception sequence, the per-round [`RoundOutcome`]s, and each
+/// node's expected collision-noise rounds under the CD axiom (an awake
+/// non-transmitting listener with two or more transmitting neighbors
+/// hears noise; sleepers hear nothing — noise cannot wake).
 fn reference(
     n: usize,
     edges: &[(usize, usize)],
     plans: &[Vec<Option<u32>>],
     awake0: &[bool],
     rounds: usize,
-) -> (Vec<Vec<(u64, u32)>>, Vec<RoundOutcome>) {
+) -> (Vec<Vec<(u64, u32)>>, Vec<RoundOutcome>, Vec<Vec<u64>>) {
     let mut adj = vec![vec![false; n]; n];
     for &(u, v) in edges {
         adj[u][v] = true;
@@ -68,6 +85,7 @@ fn reference(
     }
     let mut awake = awake0.to_vec();
     let mut received = vec![Vec::new(); n];
+    let mut noise = vec![Vec::new(); n];
     let mut outcomes = Vec::with_capacity(rounds);
     for r in 0..rounds {
         // Awake nodes transmit per their script.
@@ -100,6 +118,9 @@ fn reference(
                 }
             } else if transmitters.len() > 1 {
                 outcome.collisions += 1;
+                if awake[v] {
+                    noise[v].push(r as u64);
+                }
             }
         }
         for v in wakes {
@@ -107,11 +128,51 @@ fn reference(
         }
         outcomes.push(outcome);
     }
-    (received, outcomes)
+    (received, outcomes, noise)
 }
 
-/// Runs the engine on `(topo, plans, awake0)` and returns the per-round
-/// outcomes, per-node reception logs and aggregate stats.
+/// Runs the engine on `(topo, plans, awake0)` under the chosen
+/// [`CdModel`] and returns the per-round outcomes, per-node reception
+/// logs, aggregate stats and per-node collision-noise logs.
+fn run_engine_as<C: CdModel>(
+    n: usize,
+    edges: &[(usize, usize)],
+    plans: &[Vec<Option<u32>>],
+    awake0: &[bool],
+    rounds: usize,
+    hinted: bool,
+) -> (
+    Vec<RoundOutcome>,
+    Vec<Vec<(u64, u32)>>,
+    SimStats,
+    Vec<Vec<u64>>,
+) {
+    let graph = Graph::from_edges(n, edges.iter().copied()).expect("valid edges");
+    let nodes: Vec<Scripted> = plans
+        .iter()
+        .map(|p| Scripted {
+            plan: p.clone(),
+            received: Vec::new(),
+            noise: Vec::new(),
+            hinted,
+        })
+        .collect();
+    let awake_ids: Vec<NodeId> = (0..n).filter(|&i| awake0[i]).map(NodeId::new).collect();
+    let mut engine =
+        Engine::<Scripted, NoFaults, C>::with_faults_cd(graph, nodes, awake_ids, NoFaults)
+            .expect("engine builds");
+    let outcomes: Vec<RoundOutcome> = (0..rounds).map(|_| engine.step()).collect();
+    let stats = *engine.stats();
+    let received = (0..n)
+        .map(|i| engine.node(NodeId::new(i)).received.clone())
+        .collect();
+    let noise = (0..n)
+        .map(|i| engine.node(NodeId::new(i)).noise.clone())
+        .collect();
+    (outcomes, received, stats, noise)
+}
+
+/// The default no-CD engine, as every pre-CD caller builds it.
 fn run_engine(
     n: usize,
     edges: &[(usize, usize)],
@@ -120,22 +181,12 @@ fn run_engine(
     rounds: usize,
     hinted: bool,
 ) -> (Vec<RoundOutcome>, Vec<Vec<(u64, u32)>>, SimStats) {
-    let graph = Graph::from_edges(n, edges.iter().copied()).expect("valid edges");
-    let nodes: Vec<Scripted> = plans
-        .iter()
-        .map(|p| Scripted {
-            plan: p.clone(),
-            received: Vec::new(),
-            hinted,
-        })
-        .collect();
-    let awake_ids: Vec<NodeId> = (0..n).filter(|&i| awake0[i]).map(NodeId::new).collect();
-    let mut engine = Engine::new(graph, nodes, awake_ids).expect("engine builds");
-    let outcomes: Vec<RoundOutcome> = (0..rounds).map(|_| engine.step()).collect();
-    let stats = *engine.stats();
-    let received = (0..n)
-        .map(|i| engine.node(NodeId::new(i)).received.clone())
-        .collect();
+    let (outcomes, received, stats, noise) =
+        run_engine_as::<NoCd>(n, edges, plans, awake0, rounds, hinted);
+    assert!(
+        noise.iter().all(Vec::is_empty),
+        "collision_heard must never fire on the NoCd path"
+    );
     (outcomes, received, stats)
 }
 
@@ -175,7 +226,7 @@ macro_rules! differential_check {
         let awake0 = make_awake(n, $awake_seed);
 
         let (outcomes, received, stats) = run_engine(n, &edges, &plans, &awake0, rounds, $hinted);
-        let (expect, expect_outcomes) = reference(n, &edges, &plans, &awake0, rounds);
+        let (expect, expect_outcomes, _) = reference(n, &edges, &plans, &awake0, rounds);
         prop_assert_eq!(&outcomes, &expect_outcomes, "per-round outcomes diverge");
         for (i, want) in expect.iter().enumerate() {
             prop_assert_eq!(&received[i], want, "node {} receptions diverge", i);
@@ -244,5 +295,39 @@ proptest! {
         // must still match the always-polling reference exactly
         // (receptions void hints, collisions and silence must not).
         differential_check!(topo, plan_seed, awake_seed, true);
+    }
+
+    #[test]
+    fn cd_engine_is_bit_identical_to_the_nocd_engine(
+        topo in proptest::graph::edge_list(3..80),
+        plan_seed in any::<u64>(),
+        awake_seed in any::<u64>(),
+    ) {
+        // The CD toggle is purely additive: collision-noise is an extra
+        // informational channel, not part of the outcome partition. The
+        // same script on `WithCd` must reproduce the `NoCd` engine's
+        // round outcomes, reception logs and stats bit for bit, and its
+        // noise log must equal the reference CD derivation exactly.
+        let (n, edges) = (topo.n, topo.edges);
+        let rounds = 8usize;
+        let plans = make_plans(n, rounds, plan_seed);
+        let awake0 = make_awake(n, awake_seed);
+
+        let (_, _, expect_noise) = reference(n, &edges, &plans, &awake0, rounds);
+        for hinted in [false, true] {
+            let (outcomes, received, stats) =
+                run_engine(n, &edges, &plans, &awake0, rounds, hinted);
+            let (cd_outcomes, cd_received, cd_stats, cd_noise) =
+                run_engine_as::<WithCd>(n, &edges, &plans, &awake0, rounds, hinted);
+            prop_assert_eq!(&cd_outcomes, &outcomes, "outcomes diverge (hinted={})", hinted);
+            prop_assert_eq!(&cd_received, &received, "receptions diverge (hinted={})", hinted);
+            prop_assert_eq!(cd_stats, stats, "stats diverge (hinted={})", hinted);
+            for (i, want) in expect_noise.iter().enumerate() {
+                prop_assert_eq!(
+                    &cd_noise[i], want,
+                    "node {} noise log diverges (hinted={})", i, hinted
+                );
+            }
+        }
     }
 }

@@ -97,6 +97,7 @@ impl WorkloadSpec {
             horizon: None,
             verify: Some(self.verify),
             trace: Some(false),
+            cd: None,
         });
         let batch = self.batch.max(1);
         for chunk in arrivals.chunks(batch) {

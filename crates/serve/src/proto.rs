@@ -43,6 +43,9 @@ pub enum Request {
         verify: Option<bool>,
         /// Record a structured trace; `None` = `KB_TRACE` env.
         trace: Option<bool>,
+        /// Run the engine with collision detection (`WithCd`);
+        /// `None` = no CD (the default radio model).
+        cd: Option<bool>,
     },
     /// Append a node with the given neighbors (before the first round).
     AddNode {
@@ -188,6 +191,7 @@ impl Envelope {
                 horizon: opt_u64(&doc, "horizon", op)?,
                 verify: opt_bool(&doc, "verify", op)?,
                 trace: opt_bool(&doc, "trace", op)?,
+                cd: opt_bool(&doc, "cd", op)?,
             },
             "add_node" => {
                 let items = need(&doc, "neighbors", op)?
@@ -274,6 +278,7 @@ impl Envelope {
                 horizon,
                 verify,
                 trace,
+                cd,
             } => {
                 m.push(op("init"));
                 m.push(("topology".into(), Json::Str(topology.clone())));
@@ -290,6 +295,9 @@ impl Envelope {
                 }
                 if let Some(t) = trace {
                     m.push(("trace".into(), Json::Bool(*t)));
+                }
+                if let Some(c) = cd {
+                    m.push(("cd".into(), Json::Bool(*c)));
                 }
             }
             Request::AddNode { neighbors } => {

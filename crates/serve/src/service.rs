@@ -27,14 +27,14 @@ use kbcast::config::Config;
 use kbcast::dynamic::{stamp_latencies, Arrival, DynamicNode, DynamicStageProbe, PipelineMode};
 use kbcast::packet::PacketKey;
 use kbcast::verify::EpochConservation;
-use radio_net::engine::Engine;
+use radio_net::engine::{CdModel, Engine, WithCd};
 use radio_net::faults::{BuiltFaults, FaultModel, FaultSpec};
 use radio_net::graph::{Graph, NodeId};
 use radio_net::rng;
 use radio_net::session::{
     NoopObserver, Observer, RoundDetail, RoundEvents, SessionEnd, TrafficSource,
 };
-use radio_net::stats::nearest_rank;
+use radio_net::stats::{nearest_rank, SimStats};
 use radio_net::topology::Topology;
 use radio_net::trace::{TraceCollector, Traced};
 use radio_net::verify::{Check, ModelChecker, VerifyStack};
@@ -65,7 +65,7 @@ impl QueueSource {
 }
 
 impl TrafficSource<DynamicNode> for QueueSource {
-    fn inject<F: FaultModel>(&mut self, engine: &mut Engine<DynamicNode, F>) {
+    fn inject<F: FaultModel, C: CdModel>(&mut self, engine: &mut Engine<DynamicNode, F, C>) {
         let round = engine.round();
         if let Some(batch) = self.schedule.remove(&round) {
             for (node, payload) in batch {
@@ -114,11 +114,79 @@ struct Pending {
     faults: FaultSpec,
     verify: bool,
     trace: bool,
+    cd: bool,
+}
+
+/// The session's engine, monomorphized per the `init` collision-
+/// detection flag. Exactly two variants exist — the no-CD default
+/// (bit-identical to every pre-CD session) and the `WithCd` engine —
+/// and all run requests dispatch through this enum once, so the hot
+/// loop inside either variant stays fully monomorphized.
+enum LiveEngine {
+    NoCd(Engine<DynamicNode, BuiltFaults>),
+    Cd(Engine<DynamicNode, BuiltFaults, WithCd>),
+}
+
+impl LiveEngine {
+    fn round(&self) -> u64 {
+        match self {
+            LiveEngine::NoCd(e) => e.round(),
+            LiveEngine::Cd(e) => e.round(),
+        }
+    }
+
+    fn stats(&self) -> &SimStats {
+        match self {
+            LiveEngine::NoCd(e) => e.stats(),
+            LiveEngine::Cd(e) => e.stats(),
+        }
+    }
+
+    fn graph(&self) -> &Graph {
+        match self {
+            LiveEngine::NoCd(e) => e.graph(),
+            LiveEngine::Cd(e) => e.graph(),
+        }
+    }
+
+    fn nodes(&self) -> &[DynamicNode] {
+        match self {
+            LiveEngine::NoCd(e) => e.nodes(),
+            LiveEngine::Cd(e) => e.nodes(),
+        }
+    }
+
+    fn faults_mut(&mut self) -> &mut BuiltFaults {
+        match self {
+            LiveEngine::NoCd(e) => e.faults_mut(),
+            LiveEngine::Cd(e) => e.faults_mut(),
+        }
+    }
+
+    /// [`Engine::run_streaming_until`] over whichever variant is live.
+    /// The drain predicate sees the node slice instead of the engine so
+    /// one caller-side closure serves both monomorphizations.
+    fn run_streaming_until<O: Observer<DynamicNode>>(
+        &mut self,
+        horizon: u64,
+        obs: &mut O,
+        source: &mut QueueSource,
+        mut drained: impl FnMut(&[DynamicNode]) -> bool,
+    ) -> SessionEnd {
+        match self {
+            LiveEngine::NoCd(e) => {
+                e.run_streaming_until(horizon, obs, source, |e| drained(e.nodes()))
+            }
+            LiveEngine::Cd(e) => {
+                e.run_streaming_until(horizon, obs, source, |e| drained(e.nodes()))
+            }
+        }
+    }
 }
 
 /// The live simulation once the engine exists.
 struct Live {
-    engine: Engine<DynamicNode, BuiltFaults>,
+    engine: LiveEngine,
     source: QueueSource,
     stack: Option<VerifyStack<DynamicNode>>,
     epoch: Option<EpochConservation>,
@@ -213,6 +281,7 @@ impl Service {
                 horizon,
                 verify,
                 trace,
+                cd,
             } => self.init(
                 &topology,
                 &protocol,
@@ -221,6 +290,7 @@ impl Service {
                 horizon,
                 verify,
                 trace,
+                cd,
             ),
             Request::AddNode { neighbors } => self.add_node(&neighbors),
             Request::Inject { packets } => self.inject(packets),
@@ -243,6 +313,7 @@ impl Service {
         horizon: Option<u64>,
         verify: Option<bool>,
         trace: Option<bool>,
+        cd: Option<bool>,
     ) -> Response {
         if !matches!(self.phase, Phase::Uninit) {
             return err("init: session already initialized");
@@ -289,6 +360,7 @@ impl Service {
             faults: spec.clone(),
             verify: verify.unwrap_or_else(kbcast_bench::verify_from_env),
             trace: trace.unwrap_or_else(kbcast_bench::trace_from_env),
+            cd: cd.unwrap_or(false),
         });
         Response::InitAck {
             n,
@@ -477,11 +549,22 @@ impl Service {
             Ok(b) => b,
             Err(e) => return Err(err(format!("fault spec stopped building: {e}"))),
         };
-        let engine =
-            match Engine::with_faults(pending.graph.clone(), nodes, awake.iter().copied(), built) {
-                Ok(e) => e,
+        let engine = if pending.cd {
+            match Engine::<DynamicNode, BuiltFaults, WithCd>::with_faults_cd(
+                pending.graph.clone(),
+                nodes,
+                awake.iter().copied(),
+                built,
+            ) {
+                Ok(e) => LiveEngine::Cd(e),
                 Err(e) => return Err(err(format!("engine construction failed: {e}"))),
-            };
+            }
+        } else {
+            match Engine::with_faults(pending.graph.clone(), nodes, awake.iter().copied(), built) {
+                Ok(e) => LiveEngine::NoCd(e),
+                Err(e) => return Err(err(format!("engine construction failed: {e}"))),
+            }
+        };
         let mut source = QueueSource::default();
         for a in &self.arrivals {
             if a.round > 0 {
@@ -490,9 +573,10 @@ impl Service {
         }
         let (stack, epoch) = if pending.verify {
             let mut stack = VerifyStack::new();
-            stack.push(Box::new(ModelChecker::new(
+            stack.push(Box::new(ModelChecker::new_with_cd(
                 pending.graph.clone(),
                 awake.iter().copied(),
+                pending.cd,
             )));
             let mut expected: Vec<PacketKey> = Vec::with_capacity(self.arrivals.len());
             let mut seq_at = vec![0u32; n];
@@ -544,9 +628,8 @@ impl Service {
             epoch,
             tracer,
         } = live;
-        let pred = move |e: &Engine<DynamicNode, BuiltFaults>| {
-            drain && e.nodes().iter().all(|nd| nd.delivered_count() == k)
-        };
+        let pred =
+            move |nodes: &[DynamicNode]| drain && nodes.iter().all(|nd| nd.delivered_count() == k);
         match (stack, tracer) {
             (Some(stack), Some(tracer)) => {
                 let mut tee = VerifyTee {

@@ -17,6 +17,7 @@ fn all_requests() -> Vec<Request> {
             horizon: Some(1_000_000),
             verify: Some(true),
             trace: Some(false),
+            cd: Some(true),
         },
         Request::Init {
             topology: "gnp(n=16,p=0.4)".into(),
@@ -26,6 +27,7 @@ fn all_requests() -> Vec<Request> {
             horizon: None,
             verify: None,
             trace: None,
+            cd: None,
         },
         Request::AddNode {
             neighbors: vec![0, 3, 7],

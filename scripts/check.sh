@@ -114,6 +114,22 @@ for marker in '"ok":true' '"op":"init"' '"op":"inject"' '"op":"set_faults"' \
     }
 done
 
+# CD smoke: the quick E21 configuration (grid 8x8, every fault family,
+# ghk vs coded vs bii) with the online verifiers on. KB_VERIFY=1 makes
+# every ghk session run on the WithCd engine under the CD-aware
+# ModelChecker (noise iff >= 2 masked transmitters or jamming) plus the
+# GhkInvariants stage checks, so a CD-axiom or GHK-protocol regression
+# fails the run with the offending seed; the no-CD protocols in the
+# same sweep pin that cd=false still rejects any reported noise.
+KB_SCALE=quick KB_VERIFY=1 KB_E21_OUT=target/E21_cd_smoke.json \
+    cargo run --release -q -p kbcast-bench --bin exp_e21_cd
+for marker in '"experiment": "E21_cd"' '"protocol": "ghk"' '"clean_elections"'; do
+    grep -q "$marker" target/E21_cd_smoke.json || {
+        echo "check.sh: cd smoke JSON lacks $marker" >&2
+        exit 1
+    }
+done
+
 # Engine-throughput regression gate (KB_SKIP_PERF=1 skips the ~1 min
 # benchmark, e.g. on loaded or throttled machines where wall-clock
 # numbers are meaningless).

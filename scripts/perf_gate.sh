@@ -6,7 +6,7 @@
 #
 # perf_smoke drives Engine<_, NoFaults> with an Observer whose
 # DETAIL = false, so holding this floor is the zero-cost proof for
-# three opt-in subsystems at once:
+# four opt-in subsystems at once:
 #   - faults: FaultModel::ENABLED is false for NoFaults and every fault
 #     hook in the hot loop is behind `if F::ENABLED`;
 #   - verification: the round-detail assembly the ModelChecker needs is
@@ -14,7 +14,12 @@
 #   - tracing: the Traced tee only exists in the session driver's
 #     trace-on match arm, and it inherits DETAIL from its inner
 #     observer — an untraced session monomorphizes to the exact
-#     pre-trace loop, with bit-identical round counts.
+#     pre-trace loop, with bit-identical round counts;
+#   - collision detection: CdModel::ENABLED is false for NoCd (the
+#     default every pre-CD caller gets) and every noise branch in the
+#     hot loop is behind `if C::ENABLED`, so the no-CD grid floors
+#     below must hold unchanged — with bit-identical round counts,
+#     which tests/engine_bit_identity.rs pins separately.
 # A clean, unverified, untraced engine must therefore monomorphize to
 # the pre-subsystem loop and keep its throughput (the 35% slack against
 # the committed baseline is for machine variance, not for

@@ -8,13 +8,18 @@
 
 use radio_kbcast::kbcast::baseline::BiiProtocol;
 use radio_kbcast::kbcast::dynamic::{Arrival, DynamicProtocol};
+use radio_kbcast::kbcast::ghk::GhkProtocol;
 use radio_kbcast::kbcast::runner::{CodedProtocol, RunOptions, Workload};
 use radio_kbcast::kbcast::session::{
     run_protocol, run_protocol_on_graph, run_protocol_on_graph_with_faults,
 };
+use radio_kbcast::radio_net::engine::{Engine, Node, WithCd};
 use radio_kbcast::radio_net::error::Error;
 use radio_kbcast::radio_net::faults::FaultSpec;
+use radio_kbcast::radio_net::graph::{Graph, NodeId};
+use radio_kbcast::radio_net::session::{NoopObserver, SessionControl};
 use radio_kbcast::radio_net::topology::Topology;
+use radio_kbcast::radio_net::verify::{ModelChecker, Verified, VerifyStack};
 
 fn verify_opts() -> RunOptions {
     RunOptions {
@@ -173,6 +178,192 @@ fn degenerate_k1_broadcast_verifies() {
     .expect("single-packet verified run");
     assert!(report.success);
     assert_eq!(report.k, 1);
+}
+
+/// GHK runs on the `WithCd` engine, so the checker's CD axiom is live:
+/// every fault family must still verify with zero violations (jamming
+/// in particular now has to reconcile with the noise log, and crashes
+/// with the masked-transmitter derivation).
+#[test]
+fn model_checker_accepts_all_fault_families_ghk_with_cd() {
+    for spec in FAULT_FAMILIES {
+        for seed in 0..3 {
+            let fault: FaultSpec = spec.parse().expect("family spec parses");
+            let topo = Topology::Grid2d { rows: 4, cols: 4 };
+            let graph = topo.build(seed).expect("topology builds");
+            let workload = Workload::random(16, 8, seed);
+            let faults = fault.build(16, seed).expect("family spec validates");
+            let result = run_protocol_on_graph_with_faults(
+                &GhkProtocol::default(),
+                graph,
+                &workload,
+                seed,
+                verify_opts(),
+                faults,
+            );
+            match result {
+                Ok(_) => {}
+                Err(Error::VerificationFailed { details, .. }) => {
+                    panic!("CD checker false positive under '{spec}' seed {seed}:\n{details}")
+                }
+                Err(e) => panic!("ghk session error under '{spec}' seed {seed}: {e}"),
+            }
+        }
+    }
+}
+
+/// A node that transmits per a fixed per-round script and logs what the
+/// CD channel told it (receptions and collision-noise rounds).
+struct CdScripted {
+    plan: Vec<bool>,
+    rx_rounds: Vec<u64>,
+    noise_rounds: Vec<u64>,
+}
+
+impl Node for CdScripted {
+    type Msg = u32;
+    fn poll(&mut self, round: u64) -> Option<u32> {
+        self.plan
+            .get(round as usize)
+            .copied()
+            .unwrap_or(false)
+            .then_some(7)
+    }
+    fn receive(&mut self, round: u64, _msg: &u32) {
+        self.rx_rounds.push(round);
+    }
+    fn collision_heard(&mut self, round: u64) {
+        self.noise_rounds.push(round);
+    }
+}
+
+/// CD × faults interaction table: tiny pinned scenarios where the CD
+/// channel's reading is known by hand, each run on a `WithCd` engine
+/// with the CD-aware model checker attached. The engine must produce
+/// exactly the expected noise/reception rounds at the observed
+/// listener AND the checker's independent re-derivation must agree
+/// (zero violations) — jammed rounds read as collision-noise to CD
+/// listeners, and crashed transmitters must not count toward the
+/// collision derivation.
+#[test]
+fn cd_fault_interactions_match_the_checker() {
+    struct Case {
+        name: &'static str,
+        graph: fn() -> Graph,
+        /// `plans[v][r]` = does node `v` transmit in round `r`.
+        plans: &'static [&'static [bool]],
+        fault: &'static str,
+        listener: usize,
+        expect_noise: &'static [u64],
+        expect_rx: &'static [u64],
+    }
+    const T: bool = true;
+    const F: bool = false;
+    let cases = [
+        Case {
+            // Baseline: two leaves collide at the hub every round.
+            name: "collision reads as noise",
+            graph: || radio_kbcast::radio_net::topology::star(3).expect("star builds"),
+            plans: &[&[F; 4], &[T; 4], &[T; 4]],
+            fault: "none",
+            listener: 0,
+            expect_noise: &[0, 1, 2, 3],
+            expect_rx: &[],
+        },
+        Case {
+            // A single transmitter is a clean reception — never noise.
+            name: "unique transmitter is not noise",
+            graph: || radio_kbcast::radio_net::topology::path(2).expect("path builds"),
+            plans: &[&[T; 4], &[F; 4]],
+            fault: "none",
+            listener: 1,
+            expect_noise: &[],
+            expect_rx: &[0, 1, 2, 3],
+        },
+        Case {
+            // The jammer's budget covers rounds 0-1: to a CD listener a
+            // jammed round is indistinguishable from a collision, then
+            // clean receptions resume.
+            name: "jammed rounds read as collision-noise",
+            graph: || radio_kbcast::radio_net::topology::path(2).expect("path builds"),
+            plans: &[&[T; 4], &[F; 4]],
+            fault: "jam:budget=2",
+            listener: 1,
+            expect_noise: &[0, 1],
+            expect_rx: &[2, 3],
+        },
+        Case {
+            // Both leaves' scripts transmit every round, but everyone
+            // is fail-stop from round 1: crashed transmitters must not
+            // count toward the collision derivation, so the hub hears
+            // noise in round 0 only (and, crashed itself, is deaf to
+            // everything after).
+            name: "crashed transmitters don't count toward collisions",
+            graph: || radio_kbcast::radio_net::topology::star(3).expect("star builds"),
+            plans: &[&[F; 4], &[T; 4], &[T; 4]],
+            fault: "crash:frac=1,from=1,until=2,down=100",
+            listener: 0,
+            expect_noise: &[0],
+            expect_rx: &[],
+        },
+    ];
+
+    for case in &cases {
+        let graph = (case.graph)();
+        let n = graph.len();
+        let nodes: Vec<CdScripted> = case
+            .plans
+            .iter()
+            .map(|p| CdScripted {
+                plan: p.to_vec(),
+                rx_rounds: Vec::new(),
+                noise_rounds: Vec::new(),
+            })
+            .collect();
+        assert_eq!(nodes.len(), n, "case '{}' plan count", case.name);
+        let awake: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        let fault: FaultSpec = case.fault.parse().expect("case fault parses");
+        let faults = fault.build(n, 0).expect("case fault validates");
+
+        let mut stack = VerifyStack::new();
+        stack.push(Box::new(ModelChecker::new_with_cd(
+            graph.clone(),
+            awake.iter().copied(),
+            true,
+        )));
+        let mut engine =
+            Engine::<CdScripted, _, WithCd>::with_faults_cd(graph, nodes, awake, faults)
+                .expect("engine builds");
+        let mut obs = NoopObserver;
+        let mut verified = Verified {
+            inner: &mut obs,
+            stack: &mut stack,
+        };
+        let end = engine.run_session_with(4, &mut verified, |_| SessionControl::Continue);
+        stack.session_end(engine.nodes(), &end);
+
+        let violations: Vec<String> = stack
+            .violations()
+            .map(|(name, v)| format!("[{name}] {v}"))
+            .collect();
+        assert!(
+            violations.is_empty(),
+            "case '{}': checker disagreed with the engine:\n{}",
+            case.name,
+            violations.join("\n")
+        );
+        let listener = engine.node(NodeId::new(case.listener));
+        assert_eq!(
+            listener.noise_rounds, case.expect_noise,
+            "case '{}': noise rounds",
+            case.name
+        );
+        assert_eq!(
+            listener.rx_rounds, case.expect_rx,
+            "case '{}': reception rounds",
+            case.name
+        );
+    }
 }
 
 /// Seed-pinned spot checks on larger random topologies: the exact
