@@ -1092,9 +1092,9 @@ impl ScheduleSource {
 }
 
 impl TrafficSource<DynamicNode> for ScheduleSource {
-    fn inject<F: FaultModel, C: radio_net::CdModel>(
+    fn inject<F: FaultModel, C: radio_net::CdModel, T: radio_net::TopologyModel>(
         &mut self,
-        engine: &mut Engine<DynamicNode, F, C>,
+        engine: &mut Engine<DynamicNode, F, C, T>,
     ) {
         let round = engine.round();
         if let Some(batch) = self.schedule.remove(&round) {
@@ -1272,9 +1272,13 @@ impl BroadcastProtocol for DynamicProtocol<'_> {
         ))]
     }
 
-    fn drive<F: radio_net::faults::FaultModel, O: radio_net::session::Observer<DynamicNode>>(
+    fn drive<
+        F: radio_net::faults::FaultModel,
+        T: radio_net::TopologyModel,
+        O: radio_net::session::Observer<DynamicNode>,
+    >(
         &self,
-        engine: &mut Engine<DynamicNode, F>,
+        engine: &mut Engine<DynamicNode, F, radio_net::NoCd, T>,
         cap: u64,
         obs: &mut O,
     ) -> SessionEnd {
@@ -1440,9 +1444,13 @@ impl BroadcastProtocol for StreamProtocol<'_> {
         ))]
     }
 
-    fn drive<F: radio_net::faults::FaultModel, O: radio_net::session::Observer<DynamicNode>>(
+    fn drive<
+        F: radio_net::faults::FaultModel,
+        T: radio_net::TopologyModel,
+        O: radio_net::session::Observer<DynamicNode>,
+    >(
         &self,
-        engine: &mut Engine<DynamicNode, F>,
+        engine: &mut Engine<DynamicNode, F, radio_net::NoCd, T>,
         cap: u64,
         obs: &mut O,
     ) -> SessionEnd {

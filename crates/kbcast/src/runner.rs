@@ -1,6 +1,7 @@
 //! End-to-end execution harness: build a network, place packets, run the
 //! protocol, verify delivery and report round counts.
 
+use radio_net::dyntopo::ChurnSpec;
 use radio_net::graph::{Graph, NodeId};
 use radio_net::rng;
 use radio_net::session::{Observer, RoundEvents, SessionEnd};
@@ -223,6 +224,17 @@ pub struct RunOptions {
     /// exporters). Off by default — and zero-cost then: the untraced
     /// driver path monomorphizes to the exact pre-trace session loop.
     pub trace: bool,
+    /// Dynamic-topology model applied while the protocol runs (see
+    /// [`radio_net::dyntopo`]): per-round edge churn, random-waypoint
+    /// mobility, or scheduled partition/heal. The default
+    /// [`ChurnSpec::None`] keeps the graph frozen — and zero-cost: the
+    /// static session monomorphizes over
+    /// [`radio_net::StaticTopology`], the exact pre-churn hot loop.
+    /// Parameters are validated when the model is built, before any
+    /// engine state exists. Under [`RunOptions::verify`] the model
+    /// checker replays an identically-seeded replica of the churn
+    /// model, so verification stays sound on a moving graph.
+    pub churn: ChurnSpec,
 }
 
 impl RunOptions {

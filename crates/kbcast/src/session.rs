@@ -25,6 +25,7 @@
 //! accessor — and inheriting the driver, the verification and the
 //! whole sweep/table toolchain for free.
 
+use radio_net::dyntopo::{BuiltTopology, StaticTopology, TopologyModel};
 use radio_net::engine::{CdModel, Engine, Node};
 use radio_net::error::Error;
 use radio_net::faults::{FaultModel, NoFaults};
@@ -120,12 +121,15 @@ pub trait BroadcastProtocol {
     /// arrivals) override this with a custom control hook.
     ///
     /// Generic over the engine's fault model so the same drive serves
-    /// clean ([`NoFaults`]) and fault-injected sessions, and over the
+    /// clean ([`NoFaults`]) and fault-injected sessions, over the
+    /// topology model so a [`RunOptions::churn`] session reuses the
+    /// same drive (static sessions monomorphize over
+    /// [`StaticTopology`], the exact pre-churn loop), and over the
     /// observer so the driver can tee the protocol's own observer with
     /// a [`VerifyStack`] under [`RunOptions::verify`].
-    fn drive<F: FaultModel, O: Observer<Self::Node>>(
+    fn drive<F: FaultModel, T: TopologyModel, O: Observer<Self::Node>>(
         &self,
-        engine: &mut Engine<Self::Node, F, Self::Cd>,
+        engine: &mut Engine<Self::Node, F, Self::Cd, T>,
         cap: u64,
         obs: &mut O,
     ) -> SessionEnd {
@@ -145,9 +149,11 @@ pub trait BroadcastProtocol {
     /// model-conformance checker under [`RunOptions::verify`].
     ///
     /// `clean` is `true` when the session injects no adversity (no
-    /// fault model, no legacy loss): checkers may then also assert
-    /// w.h.p. invariants that injected faults could legitimately break
-    /// (e.g. unique leader election). Defaults to no extra checks.
+    /// fault model, no legacy loss, no [`RunOptions::churn`]): checkers
+    /// may then also assert w.h.p. invariants that injected faults —
+    /// or a graph that changes under the protocol — could legitimately
+    /// break (e.g. unique leader election). Defaults to no extra
+    /// checks.
     fn verify_checks(
         &self,
         net: &NetParams,
@@ -279,6 +285,56 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
     faults: F,
 ) -> Result<SessionReport<P::Meta>, Error> {
     options.validate()?;
+    if options.churn.is_none() {
+        // The static session monomorphizes over `StaticTopology`
+        // (`ENABLED = false`): the reshape hook compiles out and the
+        // loop is the exact pre-churn one.
+        run_session_core(
+            protocol,
+            graph,
+            workload,
+            seed,
+            options,
+            faults,
+            StaticTopology,
+            None,
+        )
+    } else {
+        // Build the dynamic model — validating its parameters — plus a
+        // clone for the verifier: `ModelChecker` replays the replica
+        // itself, so it re-derives every round against that round's
+        // actual graph snapshot.
+        let topo = options.churn.build(&graph, seed)?;
+        let replica = topo.clone();
+        run_session_core(
+            protocol,
+            graph,
+            workload,
+            seed,
+            options,
+            faults,
+            topo,
+            Some(replica),
+        )
+    }
+}
+
+/// The topology-generic session core behind
+/// [`run_protocol_on_graph_with_faults`]: one body serves both the
+/// static path (`T = StaticTopology`, `checker_topo = None`) and every
+/// churned session (`T = BuiltTopology` plus an identically-seeded
+/// checker replica).
+#[allow(clippy::too_many_arguments)]
+fn run_session_core<P: BroadcastProtocol, F: FaultModel, T: TopologyModel>(
+    protocol: &P,
+    graph: Graph,
+    workload: &Workload,
+    seed: u64,
+    options: RunOptions,
+    faults: F,
+    topo: T,
+    checker_topo: Option<BuiltTopology>,
+) -> Result<SessionReport<P::Meta>, Error> {
     let n = graph.len();
     assert_eq!(
         workload.len(),
@@ -319,12 +375,16 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
     // from independent state.
     let mut stack: Option<VerifyStack<P::Node>> = if options.verify {
         let mut stack = VerifyStack::new();
-        stack.push(Box::new(ModelChecker::new_with_cd(
-            graph.clone(),
-            awake.iter().copied(),
-            P::Cd::ENABLED,
-        )));
-        let clean = !F::ENABLED && options.loss_rate == 0.0;
+        stack.push(Box::new(match checker_topo {
+            Some(replica) => ModelChecker::with_topology(
+                graph.clone(),
+                awake.iter().copied(),
+                P::Cd::ENABLED,
+                replica,
+            ),
+            None => ModelChecker::new_with_cd(graph.clone(), awake.iter().copied(), P::Cd::ENABLED),
+        }));
+        let clean = !F::ENABLED && options.loss_rate == 0.0 && options.churn.is_none();
         for check in protocol.verify_checks(&net, workload, clean) {
             stack.push(check);
         }
@@ -344,7 +404,8 @@ pub fn run_protocol_on_graph_with_faults<P: BroadcastProtocol, F: FaultModel>(
         None
     };
 
-    let mut engine = Engine::<P::Node, F, P::Cd>::with_faults_cd(graph, nodes, awake, faults)?;
+    let mut engine =
+        Engine::<P::Node, F, P::Cd, T>::with_topology(graph, nodes, awake, faults, topo)?;
     if options.loss_rate > 0.0 {
         engine.set_loss(options.loss_rate, seed)?;
     }

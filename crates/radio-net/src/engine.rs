@@ -10,6 +10,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::bitset::{words_for, ActiveSet};
+use crate::dyntopo::{StaticTopology, TopologyModel};
 use crate::error::Error;
 use crate::faults::{ChannelView, FaultEvents, FaultModel, NoFaults, UniformLoss};
 use crate::graph::{Graph, NodeId};
@@ -225,8 +226,22 @@ pub trait Node {
 /// is behind `if C::ENABLED`, so a `NoCd` engine monomorphizes to
 /// exactly the pre-CD hot loop. Construct CD engines with
 /// [`Engine::with_faults_cd`].
+///
+/// The fourth type parameter is the dynamic-topology model (see
+/// [`crate::dyntopo`]). It defaults to [`StaticTopology`], whose
+/// `ENABLED = false` constant compiles the per-round reshape hook out
+/// of the hot loop — a static engine is exactly the frozen-graph
+/// engine. Construct churned engines with [`Engine::with_topology`].
 #[derive(Debug)]
-pub struct Engine<N: Node, F: FaultModel = NoFaults, C: CdModel = NoCd> {
+pub struct Engine<
+    N: Node,
+    F: FaultModel = NoFaults,
+    C: CdModel = NoCd,
+    T: TopologyModel = StaticTopology,
+> {
+    /// The adjacency the current round's transmissions resolve
+    /// against. Immutable for static engines; a dynamic model may swap
+    /// in a new snapshot at the top of each round.
     graph: Graph,
     nodes: Vec<N>,
     awake: Vec<bool>,
@@ -285,6 +300,10 @@ pub struct Engine<N: Node, F: FaultModel = NoFaults, C: CdModel = NoCd> {
     /// The fault model driving this engine's adversity (a ZST for the
     /// default [`NoFaults`]).
     faults: F,
+    /// The dynamic-topology model (a ZST for the default
+    /// [`StaticTopology`]); consulted once at the top of every round,
+    /// before transmissions resolve.
+    topo: T,
     /// Scratch: round number at which each node was last jammed; a node
     /// is jammed this round iff `jam_stamp[v] == round`.
     jam_stamp: Vec<u64>,
@@ -312,6 +331,20 @@ pub struct Engine<N: Node, F: FaultModel = NoFaults, C: CdModel = NoCd> {
     /// Proves the checker's noise completeness check works.
     #[cfg(test)]
     pub(crate) force_silence_on_collision: bool,
+    /// Test-only churn sabotage: advance the topology model each round
+    /// but keep resolving receptions against the *stale* graph (the
+    /// exact bug a missed CSR swap would cause). Proves the
+    /// churn-aware [`crate::verify::ModelChecker`] checks against the
+    /// round's actual snapshot.
+    #[cfg(test)]
+    pub(crate) churn_stale_graph: bool,
+    /// Test-only churn sabotage: after each reshape, silently drop
+    /// this node's edges from the applied graph without re-deriving
+    /// anything (a broken incremental adjacency update). Proves the
+    /// checker's delivery-completeness re-derivation works under
+    /// churn.
+    #[cfg(test)]
+    pub(crate) churn_drop_edges_of: Option<u32>,
     /// Zero-sized witness of the collision-detection capability.
     _cd: std::marker::PhantomData<C>,
 }
@@ -376,6 +409,32 @@ impl<N: Node, F: FaultModel, C: CdModel> Engine<N, F, C> {
         initially_awake: impl IntoIterator<Item = NodeId>,
         faults: F,
     ) -> Result<Self, Error> {
+        Self::with_topology(graph, nodes, initially_awake, faults, StaticTopology)
+    }
+}
+
+impl<N: Node, F: FaultModel, C: CdModel, T: TopologyModel> Engine<N, F, C, T> {
+    /// Creates an engine like [`Engine::with_faults_cd`] driven by the
+    /// given dynamic-topology model (see [`crate::dyntopo`]): `topo`'s
+    /// reshape hook runs at the top of every round and may swap the
+    /// adjacency before that round's transmissions resolve.
+    ///
+    /// `graph` is the round-0 base topology (for a
+    /// [`crate::dyntopo::Waypoint`] model it only fixes the node
+    /// count — the round-0 reshape installs the disk graph of the
+    /// seeded positions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeCountMismatch`] if `nodes.len() != graph.len()`
+    /// and [`Error::NodeOutOfRange`] if an initially-awake id is invalid.
+    pub fn with_topology(
+        graph: Graph,
+        nodes: Vec<N>,
+        initially_awake: impl IntoIterator<Item = NodeId>,
+        faults: F,
+        topo: T,
+    ) -> Result<Self, Error> {
         if nodes.len() != graph.len() {
             return Err(Error::NodeCountMismatch {
                 nodes: nodes.len(),
@@ -425,6 +484,7 @@ impl<N: Node, F: FaultModel, C: CdModel> Engine<N, F, C> {
             dirty: Vec::new(),
             loss: None,
             faults,
+            topo,
             jam_stamp: vec![u64::MAX; n],
             jam_list: Vec::new(),
             ext_wakes: Vec::new(),
@@ -435,6 +495,10 @@ impl<N: Node, F: FaultModel, C: CdModel> Engine<N, F, C> {
             force_noise_on_unique: false,
             #[cfg(test)]
             force_silence_on_collision: false,
+            #[cfg(test)]
+            churn_stale_graph: false,
+            #[cfg(test)]
+            churn_drop_edges_of: None,
             _cd: std::marker::PhantomData,
         })
     }
@@ -566,6 +630,32 @@ impl<N: Node, F: FaultModel, C: CdModel> Engine<N, F, C> {
         }
         self.ext_wakes.clear();
         let round = self.round;
+        // Dynamic topology: give the model a chance to swap the
+        // adjacency before anything in this round resolves. The swap
+        // happens before phase 1 polls, so phases 2/3 (and the jam
+        // hook's ChannelView) all see one consistent per-round
+        // snapshot — the same snapshot the ModelChecker's replayed
+        // replica re-derives receptions against.
+        if T::ENABLED {
+            #[cfg(test)]
+            let stale = self.churn_stale_graph;
+            #[cfg(not(test))]
+            let stale = false;
+            if let Some(g) = self.topo.reshape(round, &self.graph) {
+                debug_assert_eq!(
+                    g.len(),
+                    self.graph.len(),
+                    "reshape must preserve the node count"
+                );
+                if !stale {
+                    self.graph = g;
+                }
+            }
+            #[cfg(test)]
+            if let Some(x) = self.churn_drop_edges_of {
+                self.graph = crate::dyntopo::drop_node_edges(&self.graph, x as usize);
+            }
+        }
         let mut outcome = RoundOutcome {
             round,
             ..RoundOutcome::default()

@@ -36,6 +36,12 @@
 //!   [`session::Observer`] hooks see per-round [`session::RoundEvents`]
 //!   plus read-only node state, so reports come from instrumentation
 //!   instead of post-hoc introspection.
+//! * [`dyntopo`] — dynamic topology ([`dyntopo::TopologyModel`]):
+//!   per-round edge churn, random-waypoint mobility and scheduled
+//!   partition/heal can swap the adjacency before each round's
+//!   transmissions resolve. Zero-cost when static — the default
+//!   [`dyntopo::StaticTopology`] engine monomorphizes to the
+//!   frozen-graph hot loop.
 //! * [`faults`] — composable deterministic fault injection
 //!   ([`faults::FaultModel`]): uniform/bursty loss, crash schedules,
 //!   adversarial jamming, wake-up corruption. Zero-cost when disabled —
@@ -105,6 +111,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod dyntopo;
 pub mod engine;
 pub mod error;
 pub mod faults;
@@ -118,6 +125,10 @@ pub mod trace;
 pub mod verify;
 pub mod viz;
 
+pub use dyntopo::{
+    BuiltTopology, ChurnSpec, EdgeChurn, PartitionHeal, PartitionWindow, StaticTopology,
+    TopologyModel, Waypoint,
+};
 pub use engine::{CdModel, Engine, NoCd, Node, WithCd};
 pub use error::Error;
 pub use faults::{

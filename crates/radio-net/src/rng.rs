@@ -67,6 +67,13 @@ pub mod salts {
     pub const CRASH: u64 = 0xF00D_0000_0000_0005;
     /// Wake-up corruption sampling ([`crate::faults::WakeupCorrupt`]).
     pub const WAKEUP: u64 = 0xF00D_0000_0000_0006;
+    /// Per-round edge-flip sampling ([`crate::dyntopo::EdgeChurn`]).
+    pub const CHURN: u64 = 0xF00D_0000_0000_0007;
+    /// Random-waypoint positions and destinations
+    /// ([`crate::dyntopo::Waypoint`]).
+    pub const WAYPOINT: u64 = 0xF00D_0000_0000_0008;
+    /// Partition side assignment ([`crate::dyntopo::PartitionHeal`]).
+    pub const PARTITION: u64 = 0xF00D_0000_0000_0009;
 }
 
 #[cfg(test)]

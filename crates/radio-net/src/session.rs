@@ -14,6 +14,7 @@
 //! — which is now a `NoopObserver` session — compiles to the same hot
 //! loop it had before observers existed.
 
+use crate::dyntopo::TopologyModel;
 use crate::engine::{CdModel, Engine, Node};
 use crate::faults::{FaultEvents, FaultModel};
 
@@ -214,10 +215,14 @@ pub trait TrafficSource<N: Node> {
     /// Injects this round's arrivals (if any) into the engine. Called
     /// once before every round with the engine positioned at
     /// [`Engine::round`](crate::engine::Engine::round) == the round
-    /// about to execute. Generic over the engine's fault and
-    /// collision-detection models: injection is a harness-side event
-    /// and behaves the same in both channel models.
-    fn inject<F: FaultModel, C: CdModel>(&mut self, engine: &mut Engine<N, F, C>);
+    /// about to execute. Generic over the engine's fault,
+    /// collision-detection and topology models: injection is a
+    /// harness-side event and behaves the same in every channel
+    /// model.
+    fn inject<F: FaultModel, C: CdModel, T: TopologyModel>(
+        &mut self,
+        engine: &mut Engine<N, F, C, T>,
+    );
 
     /// `true` once the source will never inject again (a bounded
     /// schedule ran out, or a generator hit its packet budget). An

@@ -137,7 +137,7 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<Graph, Error> {
 /// buildable. Emission order is arbitrary; [`Graph::from_edges`] sorts
 /// and dedups globally, so the resulting graph is identical to the
 /// all-pairs scan's.
-fn unit_disk_edges(pts: &[(f64, f64)], radius: f64) -> Vec<(usize, usize)> {
+pub(crate) fn unit_disk_edges(pts: &[(f64, f64)], radius: f64) -> Vec<(usize, usize)> {
     let n = pts.len();
     let r2 = radius * radius;
     // Cell side = 1/cells ≥ radius keeps the 3×3 scan sufficient; the

@@ -25,12 +25,20 @@
 //! - **Fault consistency** — drops, jams, crash-silences and suppressed
 //!   wake-ups in the trace match the per-round [`RoundEvents`] fault
 //!   counters, so injected adversity is accounted for exactly once.
+//! - **Churn awareness** (dynamic-topology engines, see
+//!   [`ModelChecker::with_topology`]) — the checker replays an
+//!   independent replica of the engine's [`crate::dyntopo`] model and
+//!   re-derives every round against that round's *actual* graph
+//!   snapshot, so an engine that resolves receptions against a stale
+//!   adjacency (or drops edges without re-deriving collisions) is
+//!   caught.
 //!
 //! Verification is strictly additive: it runs only when a harness opts
 //! in (see `RunOptions::verify` in the `kbcast` crate), and the
 //! recording side is gated on [`Observer::DETAIL`] — a monomorphized
 //! constant, so disabled runs compile to the unchecked hot loop.
 
+use crate::dyntopo::{BuiltTopology, TopologyModel};
 use crate::engine::Node;
 use crate::graph::{Graph, NodeId};
 use crate::session::{Observer, RoundDetail, RoundEvents, SessionEnd};
@@ -133,7 +141,18 @@ impl ViolationLog {
 /// for consistency rather than flagged.
 #[derive(Debug)]
 pub struct ModelChecker {
+    /// The checker's own copy of the adjacency. Under churn (see
+    /// `topo`) this is the *replayed per-round snapshot*: the replica
+    /// model reshapes it at the top of every `check_round`, so each
+    /// round's receptions are re-derived against the graph that round
+    /// actually ran on, never a stale one.
     graph: Graph,
+    /// An independent replica of the engine's dynamic-topology model
+    /// (`None` for static runs). Topology models are deterministic in
+    /// their own state, so replaying the same round sequence
+    /// reproduces the engine's exact graph sequence without any trace
+    /// schema change.
+    topo: Option<BuiltTopology>,
     awake: Vec<bool>,
     /// Per-round generation counter backing the stamp arrays below, so
     /// none of them is cleared between rounds.
@@ -218,6 +237,7 @@ impl ModelChecker {
         }
         ModelChecker {
             graph,
+            topo: None,
             awake,
             gen: 0,
             stamp: vec![0; n],
@@ -239,6 +259,30 @@ impl ModelChecker {
         }
     }
 
+    /// [`ModelChecker::new_with_cd`] for an engine under dynamic
+    /// topology (see [`crate::dyntopo`]): `topo` must be an
+    /// *independent replica* of the engine's churn model — same spec,
+    /// same seed, same base graph (e.g. a clone taken before the
+    /// engine was built, or a second `ChurnSpec::build`). The checker
+    /// replays it round by round and re-derives every reception,
+    /// collision and CD-noise observation against the round's actual
+    /// graph snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initially-awake id is out of range.
+    #[must_use]
+    pub fn with_topology(
+        graph: Graph,
+        initially_awake: impl IntoIterator<Item = NodeId>,
+        cd: bool,
+        topo: BuiltTopology,
+    ) -> Self {
+        let mut checker = Self::new_with_cd(graph, initially_awake, cd);
+        checker.topo = Some(topo);
+        checker
+    }
+
     /// `true` if no axiom has been violated so far.
     #[must_use]
     pub fn is_clean(&self) -> bool {
@@ -258,6 +302,15 @@ impl ModelChecker {
     }
 
     fn check_round(&mut self, d: &RoundDetail<'_>) {
+        // Replay the churn replica first: everything below must be
+        // derived against the same per-round snapshot the engine's own
+        // reshape hook installed before this round's transmissions
+        // resolved.
+        if let Some(model) = &mut self.topo {
+            if let Some(g) = model.reshape(d.round, &self.graph) {
+                self.graph = g;
+            }
+        }
         let n = self.graph.len();
         let round = d.round;
         self.gen += 1;
@@ -902,6 +955,129 @@ mod tests {
         assert!(
             all.contains("exactly-one axiom"),
             "expected the exactly-one violation, got:\n{all}"
+        );
+    }
+
+    /// A partition model splitting a 2-path from round 1 on, plus an
+    /// identically-seeded replica for the checker.
+    fn split_pair(g: &Graph) -> (BuiltTopology, BuiltTopology) {
+        use crate::dyntopo::{PartitionHeal, PartitionWindow};
+        let w = PartitionWindow {
+            split_at: 1,
+            heal_at: 100,
+            period: None,
+        };
+        let model = BuiltTopology::Partition(PartitionHeal::new(g, Some(w), 3).unwrap());
+        (model.clone(), model)
+    }
+
+    #[test]
+    fn churned_clean_run_has_no_violations() {
+        // A 2-path whose only edge is cut from round 1: the checker's
+        // replica must track the engine's reshape exactly — deliveries
+        // before the split, silence after it, zero violations.
+        use crate::engine::NoCd;
+        use crate::faults::NoFaults;
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new((0..6).map(|_| Some(7)).collect()),
+            Scripted::silent(),
+        ];
+        let awake = all_awake(2);
+        let (topo, replica) = split_pair(&g);
+        let mut stack: VerifyStack<Scripted> = VerifyStack::new();
+        stack.push(Box::new(ModelChecker::with_topology(
+            g.clone(),
+            awake.iter().copied(),
+            false,
+            replica,
+        )));
+        let mut e = Engine::<Scripted, NoFaults, NoCd, BuiltTopology>::with_topology(
+            g, nodes, awake, NoFaults, topo,
+        )
+        .unwrap();
+        for _ in 0..6 {
+            e.step_observed(&mut stack);
+        }
+        assert!(stack.is_clean(), "{}", stack.summary(8));
+        assert_eq!(e.stats().receptions, 1, "only the pre-split round delivers");
+    }
+
+    #[test]
+    fn stale_graph_under_churn_is_caught() {
+        // The sabotaged engine advances its churn model but keeps
+        // resolving receptions against the pre-split adjacency; the
+        // checker's replica cuts the edge at round 1, so the round-1
+        // delivery arrives over an edge that no longer exists.
+        use crate::engine::NoCd;
+        use crate::faults::NoFaults;
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new((0..3).map(|_| Some(7)).collect()),
+            Scripted::silent(),
+        ];
+        let awake = all_awake(2);
+        let (topo, replica) = split_pair(&g);
+        let mut stack: VerifyStack<Scripted> = VerifyStack::new();
+        stack.push(Box::new(ModelChecker::with_topology(
+            g.clone(),
+            awake.iter().copied(),
+            false,
+            replica,
+        )));
+        let mut e = Engine::<Scripted, NoFaults, NoCd, BuiltTopology>::with_topology(
+            g, nodes, awake, NoFaults, topo,
+        )
+        .unwrap();
+        e.churn_stale_graph = true;
+        for _ in 0..3 {
+            e.step_observed(&mut stack);
+        }
+        assert!(!stack.is_clean(), "stale-graph sabotage must be detected");
+        let all = stack.summary(8);
+        assert!(
+            all.contains("exactly-one axiom"),
+            "expected a stale-delivery violation, got:\n{all}"
+        );
+    }
+
+    #[test]
+    fn dropped_edges_without_rederive_are_caught() {
+        // The sabotaged engine silently strips node 1's edges from its
+        // applied graph (a broken incremental CSR update): the checker
+        // re-derives a delivery the engine never made.
+        use crate::dyntopo::PartitionHeal;
+        use crate::engine::NoCd;
+        use crate::faults::NoFaults;
+        let g = topology::path(2).unwrap();
+        let nodes = vec![
+            Scripted::new((0..2).map(|_| Some(7)).collect()),
+            Scripted::silent(),
+        ];
+        let awake = all_awake(2);
+        // An inert dynamic model: the graphs should agree every round,
+        // so every violation below comes from the sabotage alone.
+        let topo = BuiltTopology::Partition(PartitionHeal::new(&g, None, 3).unwrap());
+        let mut stack: VerifyStack<Scripted> = VerifyStack::new();
+        stack.push(Box::new(ModelChecker::with_topology(
+            g.clone(),
+            awake.iter().copied(),
+            false,
+            topo.clone(),
+        )));
+        let mut e = Engine::<Scripted, NoFaults, NoCd, BuiltTopology>::with_topology(
+            g, nodes, awake, NoFaults, topo,
+        )
+        .unwrap();
+        e.churn_drop_edges_of = Some(1);
+        for _ in 0..2 {
+            e.step_observed(&mut stack);
+        }
+        assert!(!stack.is_clean(), "dropped-edge sabotage must be detected");
+        let all = stack.summary(8);
+        assert!(
+            all.contains("no recorded outcome"),
+            "expected a completeness violation, got:\n{all}"
         );
     }
 

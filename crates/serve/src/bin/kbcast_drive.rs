@@ -31,6 +31,7 @@ struct Args {
     drain_rounds: u64,
     verify: bool,
     batch: usize,
+    churn: Option<String>,
     in_process: bool,
     serve: Option<PathBuf>,
     replay: Option<PathBuf>,
@@ -51,6 +52,7 @@ impl Default for Args {
             drain_rounds: 20_000_000,
             verify: false,
             batch: 512,
+            churn: None,
             in_process: false,
             serve: None,
             replay: None,
@@ -66,7 +68,7 @@ fn usage() -> &'static str {
      workload:    --sessions N --topology SPEC --protocol stream-seq|stream-tdm\n\
      \x20            --seed S --lambda PKT_PER_ROUND --window ROUNDS\n\
      \x20            [--flip FAULTSPEC@ROUND[+RECOVER_ROUNDS]] [--verify] [--batch N]\n\
-     \x20            [--drain-rounds R]\n\
+     \x20            [--drain-rounds R] [--churn CHURNSPEC]\n\
      transport:   [--serve PATH_TO_KBCAST_SERVE] [--in-process] [--compare]\n\
      record/replay: [--record FILE] [--replay FILE]\n"
 }
@@ -105,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--drain-rounds: {e}"))?;
             }
             "--verify" => args.verify = true,
+            "--churn" => args.churn = Some(val("--churn")?),
             "--batch" => {
                 args.batch = val("--batch")?
                     .parse()
@@ -161,6 +164,7 @@ fn build_scripts(args: &Args) -> Result<Vec<Vec<String>>, String> {
                 drain_rounds: args.drain_rounds,
                 verify: args.verify,
                 batch: args.batch,
+                churn: args.churn.clone(),
             }
             .script()
             .map_err(|e| format!("session {i}: {e}"))

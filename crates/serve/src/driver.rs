@@ -58,6 +58,10 @@ pub struct WorkloadSpec {
     /// Packets per `inject` request (batching amortizes the protocol
     /// overhead for million-packet workloads).
     pub batch: usize,
+    /// Dynamic-topology spec for the session
+    /// ([`radio_net::dyntopo::ChurnSpec`] grammar); `None` = frozen
+    /// graph.
+    pub churn: Option<String>,
 }
 
 impl WorkloadSpec {
@@ -98,6 +102,7 @@ impl WorkloadSpec {
             verify: Some(self.verify),
             trace: Some(false),
             cd: None,
+            churn: self.churn.clone(),
         });
         let batch = self.batch.max(1);
         for chunk in arrivals.chunks(batch) {

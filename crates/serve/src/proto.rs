@@ -46,6 +46,10 @@ pub enum Request {
         /// Run the engine with collision detection (`WithCd`);
         /// `None` = no CD (the default radio model).
         cd: Option<bool>,
+        /// Dynamic-topology spec ([`radio_net::dyntopo::ChurnSpec`]
+        /// grammar, e.g. `edge:rho=0.02,heal=0.2`); `None` = frozen
+        /// graph.
+        churn: Option<String>,
     },
     /// Append a node with the given neighbors (before the first round).
     AddNode {
@@ -192,6 +196,7 @@ impl Envelope {
                 verify: opt_bool(&doc, "verify", op)?,
                 trace: opt_bool(&doc, "trace", op)?,
                 cd: opt_bool(&doc, "cd", op)?,
+                churn: opt_str(&doc, "churn", op)?,
             },
             "add_node" => {
                 let items = need(&doc, "neighbors", op)?
@@ -279,6 +284,7 @@ impl Envelope {
                 verify,
                 trace,
                 cd,
+                churn,
             } => {
                 m.push(op("init"));
                 m.push(("topology".into(), Json::Str(topology.clone())));
@@ -298,6 +304,9 @@ impl Envelope {
                 }
                 if let Some(c) = cd {
                     m.push(("cd".into(), Json::Bool(*c)));
+                }
+                if let Some(c) = churn {
+                    m.push(("churn".into(), Json::Str(c.clone())));
                 }
             }
             Request::AddNode { neighbors } => {
@@ -412,6 +421,10 @@ pub enum Response {
         topology: String,
         /// Canonical fault spec (re-parseable).
         faults: String,
+        /// Canonical churn spec (re-parseable) — present only for
+        /// dynamic-topology sessions, so frozen-graph transcripts are
+        /// byte-identical to the pre-churn protocol.
+        churn: Option<String>,
     },
     /// `add_node` acknowledged.
     AddNodeAck {
@@ -627,6 +640,7 @@ impl Response {
                 protocol,
                 topology,
                 faults,
+                churn,
             } => {
                 m.push(("ok".into(), Json::Bool(true)));
                 m.push(op("init"));
@@ -636,6 +650,9 @@ impl Response {
                 m.push(("protocol".into(), Json::Str(protocol.clone())));
                 m.push(("topology".into(), Json::Str(topology.clone())));
                 m.push(("faults".into(), Json::Str(faults.clone())));
+                if let Some(c) = churn {
+                    m.push(("churn".into(), Json::Str(c.clone())));
+                }
             }
             Response::AddNodeAck { node, n } => {
                 m.push(("ok".into(), Json::Bool(true)));
@@ -753,6 +770,7 @@ impl Response {
                 protocol: need_str(&doc, "protocol", op)?.to_string(),
                 topology: need_str(&doc, "topology", op)?.to_string(),
                 faults: need_str(&doc, "faults", op)?.to_string(),
+                churn: opt_str(&doc, "churn", op)?,
             },
             "add_node" => Response::AddNodeAck {
                 node: need_u64(&doc, "node", op)?,

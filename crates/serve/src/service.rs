@@ -27,7 +27,8 @@ use kbcast::config::Config;
 use kbcast::dynamic::{stamp_latencies, Arrival, DynamicNode, DynamicStageProbe, PipelineMode};
 use kbcast::packet::PacketKey;
 use kbcast::verify::EpochConservation;
-use radio_net::engine::{CdModel, Engine, WithCd};
+use radio_net::dyntopo::{BuiltTopology, ChurnSpec, TopologyModel};
+use radio_net::engine::{CdModel, Engine, NoCd, WithCd};
 use radio_net::faults::{BuiltFaults, FaultModel, FaultSpec};
 use radio_net::graph::{Graph, NodeId};
 use radio_net::rng;
@@ -65,7 +66,10 @@ impl QueueSource {
 }
 
 impl TrafficSource<DynamicNode> for QueueSource {
-    fn inject<F: FaultModel, C: CdModel>(&mut self, engine: &mut Engine<DynamicNode, F, C>) {
+    fn inject<F: FaultModel, C: CdModel, T: TopologyModel>(
+        &mut self,
+        engine: &mut Engine<DynamicNode, F, C, T>,
+    ) {
         let round = engine.round();
         if let Some(batch) = self.schedule.remove(&round) {
             for (node, payload) in batch {
@@ -115,6 +119,7 @@ struct Pending {
     verify: bool,
     trace: bool,
     cd: bool,
+    churn: ChurnSpec,
 }
 
 /// The session's engine, monomorphized per the `init` collision-
@@ -122,9 +127,14 @@ struct Pending {
 /// (bit-identical to every pre-CD session) and the `WithCd` engine —
 /// and all run requests dispatch through this enum once, so the hot
 /// loop inside either variant stays fully monomorphized.
+///
+/// Both variants run over [`BuiltTopology`]: a frozen-graph session
+/// uses [`BuiltTopology::Static`], whose reshape hook is a no-op that
+/// draws no randomness, so unchurned transcripts stay bit-identical to
+/// the pre-churn service.
 enum LiveEngine {
-    NoCd(Engine<DynamicNode, BuiltFaults>),
-    Cd(Engine<DynamicNode, BuiltFaults, WithCd>),
+    NoCd(Engine<DynamicNode, BuiltFaults, NoCd, BuiltTopology>),
+    Cd(Engine<DynamicNode, BuiltFaults, WithCd, BuiltTopology>),
 }
 
 impl LiveEngine {
@@ -282,6 +292,7 @@ impl Service {
                 verify,
                 trace,
                 cd,
+                churn,
             } => self.init(
                 &topology,
                 &protocol,
@@ -291,6 +302,7 @@ impl Service {
                 verify,
                 trace,
                 cd,
+                churn.as_deref(),
             ),
             Request::AddNode { neighbors } => self.add_node(&neighbors),
             Request::Inject { packets } => self.inject(packets),
@@ -314,6 +326,7 @@ impl Service {
         verify: Option<bool>,
         trace: Option<bool>,
         cd: Option<bool>,
+        churn: Option<&str>,
     ) -> Response {
         if !matches!(self.phase, Phase::Uninit) {
             return err("init: session already initialized");
@@ -333,6 +346,13 @@ impl Service {
                 Err(e) => return err(format!("init: {e}")),
             },
         };
+        let churn_spec = match churn {
+            None => ChurnSpec::None,
+            Some(s) => match ChurnSpec::from_str(s) {
+                Ok(spec) => spec,
+                Err(e) => return err(format!("init: {e}")),
+            },
+        };
         let horizon = horizon.unwrap_or(u64::MAX);
         if horizon == 0 {
             return err("init: \"horizon\" must be at least 1 round");
@@ -343,6 +363,10 @@ impl Service {
         };
         // Fail un-buildable fault specs now, not at the first run.
         if let Err(e) = spec.build(graph.len(), seed) {
+            return err(format!("init: {e}"));
+        }
+        // Same eager validation for the churn spec's parameters.
+        if let Err(e) = churn_spec.build(&graph, seed) {
             return err(format!("init: {e}"));
         }
         let n = graph.len() as u64;
@@ -361,6 +385,7 @@ impl Service {
             verify: verify.unwrap_or_else(kbcast_bench::verify_from_env),
             trace: trace.unwrap_or_else(kbcast_bench::trace_from_env),
             cd: cd.unwrap_or(false),
+            churn: churn_spec,
         });
         Response::InitAck {
             n,
@@ -369,6 +394,7 @@ impl Service {
             protocol: mode.name().to_string(),
             topology: topo.to_string(),
             faults: spec.to_string(),
+            churn: (!churn_spec.is_none()).then(|| churn_spec.label()),
         }
     }
 
@@ -549,18 +575,33 @@ impl Service {
             Ok(b) => b,
             Err(e) => return Err(err(format!("fault spec stopped building: {e}"))),
         };
+        // The engine's dynamic-topology model, built against the final
+        // (post-add_node) graph; `BuiltTopology::Static` for frozen
+        // sessions draws no randomness, so the pre-churn bit-identity
+        // contract holds.
+        let topo = match pending.churn.build(&pending.graph, pending.seed) {
+            Ok(t) => t,
+            Err(e) => return Err(err(format!("churn spec stopped building: {e}"))),
+        };
         let engine = if pending.cd {
-            match Engine::<DynamicNode, BuiltFaults, WithCd>::with_faults_cd(
+            match Engine::<DynamicNode, BuiltFaults, WithCd, BuiltTopology>::with_topology(
                 pending.graph.clone(),
                 nodes,
                 awake.iter().copied(),
                 built,
+                topo.clone(),
             ) {
                 Ok(e) => LiveEngine::Cd(e),
                 Err(e) => return Err(err(format!("engine construction failed: {e}"))),
             }
         } else {
-            match Engine::with_faults(pending.graph.clone(), nodes, awake.iter().copied(), built) {
+            match Engine::<DynamicNode, BuiltFaults, NoCd, BuiltTopology>::with_topology(
+                pending.graph.clone(),
+                nodes,
+                awake.iter().copied(),
+                built,
+                topo.clone(),
+            ) {
                 Ok(e) => LiveEngine::NoCd(e),
                 Err(e) => return Err(err(format!("engine construction failed: {e}"))),
             }
@@ -573,11 +614,19 @@ impl Service {
         }
         let (stack, epoch) = if pending.verify {
             let mut stack = VerifyStack::new();
-            stack.push(Box::new(ModelChecker::new_with_cd(
-                pending.graph.clone(),
-                awake.iter().copied(),
-                pending.cd,
-            )));
+            // A churned session hands the checker its own replica of
+            // the topology model, so every round is re-derived against
+            // that round's actual graph snapshot.
+            stack.push(Box::new(if pending.churn.is_none() {
+                ModelChecker::new_with_cd(pending.graph.clone(), awake.iter().copied(), pending.cd)
+            } else {
+                ModelChecker::with_topology(
+                    pending.graph.clone(),
+                    awake.iter().copied(),
+                    pending.cd,
+                    topo,
+                )
+            }));
             let mut expected: Vec<PacketKey> = Vec::with_capacity(self.arrivals.len());
             let mut seq_at = vec![0u32; n];
             for a in &self.arrivals {
@@ -589,9 +638,9 @@ impl Service {
             }
             expected.sort_unstable();
             // `clean` gates the w.h.p. completeness invariant — only
-            // claimed when the *initial* spec is fault-free, matching
-            // the library driver.
-            let clean = pending.faults.is_none();
+            // claimed when the *initial* spec is fault-free and the
+            // graph is frozen, matching the library driver.
+            let clean = pending.faults.is_none() && pending.churn.is_none();
             (
                 Some(stack),
                 Some(EpochConservation::new(expected, pending.mode, clean)),

@@ -29,6 +29,7 @@ fn spec(protocol: &str, seed: u64) -> WorkloadSpec {
         drain_rounds: 400_000,
         verify: true,
         batch: 64,
+        churn: None,
     }
 }
 

@@ -72,6 +72,30 @@ fn every_bad_line_errs_and_the_service_keeps_serving() {
             r#"{"op":"init","topology":"path(n=4)","protocol":"stream-seq","seed":1,"horizon":0}"#,
         ),
         (
+            "unknown churn kind",
+            r#"{"op":"init","topology":"path(n=4)","protocol":"stream-seq","seed":1,"churn":"teleport:rate=0.1"}"#,
+        ),
+        (
+            "out-of-range churn rate",
+            r#"{"op":"init","topology":"path(n=4)","protocol":"stream-seq","seed":1,"churn":"edge:rho=1.5"}"#,
+        ),
+        (
+            "non-numeric churn value",
+            r#"{"op":"init","topology":"path(n=4)","protocol":"stream-seq","seed":1,"churn":"edge:rho=fast"}"#,
+        ),
+        (
+            "partition churn missing heal",
+            r#"{"op":"init","topology":"path(n=4)","protocol":"stream-seq","seed":1,"churn":"partition:at=100"}"#,
+        ),
+        (
+            "inverted partition window",
+            r#"{"op":"init","topology":"path(n=4)","protocol":"stream-seq","seed":1,"churn":"partition:at=400,heal=100"}"#,
+        ),
+        (
+            "non-string churn field",
+            r#"{"op":"init","topology":"path(n=4)","protocol":"stream-seq","seed":1,"churn":7}"#,
+        ),
+        (
             "missing seed",
             r#"{"op":"init","topology":"path(n=4)","protocol":"stream-seq"}"#,
         ),

@@ -18,6 +18,7 @@ fn all_requests() -> Vec<Request> {
             verify: Some(true),
             trace: Some(false),
             cd: Some(true),
+            churn: Some("edge:rho=0.02,heal=0.2".into()),
         },
         Request::Init {
             topology: "gnp(n=16,p=0.4)".into(),
@@ -28,6 +29,7 @@ fn all_requests() -> Vec<Request> {
             verify: None,
             trace: None,
             cd: None,
+            churn: None,
         },
         Request::AddNode {
             neighbors: vec![0, 3, 7],
@@ -93,6 +95,16 @@ fn all_responses() -> Vec<Response> {
             protocol: "stream-seq".into(),
             topology: "grid(4x8)".into(),
             faults: "none".into(),
+            churn: None,
+        },
+        Response::InitAck {
+            n: 16,
+            diameter: 6,
+            max_degree: 5,
+            protocol: "stream-tdm".into(),
+            topology: "gnp(n=16,p=0.4)".into(),
+            faults: "none".into(),
+            churn: Some("partition:at=200,heal=400,period=1000".into()),
         },
         Response::AddNodeAck { node: 32, n: 33 },
         Response::InjectAck {

@@ -10,6 +10,7 @@ use kbcast_bench::traffic::{TrafficPattern, TrafficSpec};
 use kbcast_serve::json::Json;
 use kbcast_serve::proto::{Envelope, InjectPacket, Request};
 use kbcast_serve::service::Service;
+use radio_net::dyntopo::ChurnSpec;
 use radio_net::stats::nearest_rank;
 use radio_net::topology::Topology;
 use std::str::FromStr;
@@ -148,4 +149,103 @@ fn service_sessions_match_the_library_run_bit_for_bit() {
             "{protocol}: end-of-session checks"
         );
     }
+}
+
+/// The same contract on a *moving* graph: a churned service session —
+/// `"churn"` in `init` — must reproduce the in-process churned
+/// streaming run bit-for-bit, verify stack live the whole way. This
+/// pins the service's churn plumbing end to end: spec parsing, the
+/// identically-seeded engine + checker-replica construction, and the
+/// per-round reshape inside `run_streaming_until` spans.
+#[test]
+fn churned_service_session_matches_the_library_run_bit_for_bit() {
+    let (protocol, seed) = ("stream-seq", 43u64);
+    let topology = "grid(4x4)";
+    let churn = "edge:rho=0.01,heal=0.3";
+    let horizon = 400_000u64;
+    let topo = Topology::from_str(topology).unwrap();
+    let n = topo.build(seed).unwrap().len();
+    let arrivals = TrafficSpec {
+        pattern: TrafficPattern::Poisson { lambda: 0.01 },
+        window: 2_000,
+    }
+    .generate(n, seed)
+    .unwrap();
+    assert!(arrivals.len() > 5, "workload too small to be interesting");
+
+    // Ground truth: the in-process churned streaming run.
+    let spec: ChurnSpec = churn.parse().unwrap();
+    let lib = run_streaming(
+        &topo,
+        &arrivals,
+        None,
+        protocol.parse().unwrap(),
+        seed,
+        horizon,
+        RunOptions {
+            verify: true,
+            churn: spec,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+
+    // The same session through the service front-end.
+    let mut s = Service::new();
+    let ack = ok(
+        &mut s,
+        &format!(
+            r#"{{"op":"init","topology":"{topology}","protocol":"{protocol}","seed":{seed},"horizon":{horizon},"verify":true,"churn":"{churn}"}}"#
+        ),
+    );
+    assert_eq!(
+        ack.get("churn").and_then(Json::as_str),
+        Some(churn),
+        "init ack must echo the canonical churn spec"
+    );
+    for chunk in arrivals.chunks(64) {
+        let req = Envelope {
+            id: None,
+            req: Request::Inject {
+                packets: chunk
+                    .iter()
+                    .map(|a| InjectPacket {
+                        node: a.node,
+                        round: Some(a.round),
+                        payload: a.payload.clone(),
+                    })
+                    .collect(),
+            },
+        };
+        ok(&mut s, &req.to_json().to_string());
+    }
+    let drain = ok(&mut s, r#"{"op":"run_until_drained"}"#);
+    // Under churn completion is an outcome, not a precondition: assert
+    // the service agrees with the library, whichever way it went.
+    assert_eq!(
+        drain.get("completed").and_then(Json::as_bool),
+        Some(lib.success),
+        "churned drain outcome"
+    );
+    let q = ok(&mut s, r#"{"op":"query"}"#);
+    assert_eq!(get(&q, "round"), lib.rounds_total, "churned stop round");
+    assert_eq!(get(&q, "k"), lib.k as u64, "churned packet count");
+    assert_eq!(get(&q, "violations"), 0, "churned violations");
+    let stats = q.get("stats").unwrap();
+    assert_eq!(get(stats, "rounds"), lib.stats.rounds);
+    assert_eq!(get(stats, "transmissions"), lib.stats.transmissions);
+    assert_eq!(get(stats, "receptions"), lib.stats.receptions);
+    assert_eq!(get(stats, "collisions"), lib.stats.collisions);
+    assert_eq!(get(stats, "wakeups"), lib.stats.wakeups);
+    let lat = q.get("latency").unwrap();
+    assert_eq!(get(lat, "count"), lib.latencies.len() as u64);
+    for (key, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0)] {
+        assert_eq!(
+            lat.get(key).and_then(Json::as_u64),
+            nearest_rank(&lib.latencies, p),
+            "churned {key}"
+        );
+    }
+    let sd = ok(&mut s, r#"{"op":"shutdown"}"#);
+    assert_eq!(get(&sd, "violations"), 0, "churned end-of-session checks");
 }

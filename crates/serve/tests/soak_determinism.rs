@@ -28,6 +28,7 @@ fn scripts() -> Vec<Vec<String>> {
                 drain_rounds: 400_000,
                 verify: i == 0,
                 batch: 32,
+                churn: None,
             }
             .script()
             .unwrap()

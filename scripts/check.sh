@@ -130,6 +130,27 @@ for marker in '"experiment": "E21_cd"' '"protocol": "ghk"' '"clean_elections"'; 
     }
 done
 
+# Churn smoke: the quick E22 configuration (grid 8x8, the full churn
+# grid — edge-rho ladder, waypoint mobility, periodic partition — over
+# all four protocol families) with the online verifiers on. KB_VERIFY=1
+# makes every churned session re-derive against the churn-aware
+# ModelChecker's independent topology replica, so a reshape drifting out
+# of lockstep with the engine fails the run with the offending seed. The
+# greps pin the JSON schema plus the degradation law (delivered mass
+# non-increasing along the edge-rho ladder).
+KB_SCALE=quick KB_VERIFY=1 KB_E22_OUT=target/E22_churn_smoke.json \
+    cargo run --release -q -p kbcast-bench --bin exp_e22_churn
+for marker in '"experiment": "E22_churn"' '"monotone_degradation": true' \
+    '"churn": "edge:rho=0.08,heal=0.25"' \
+    '"churn": "waypoint:radius=0.45,speed=0.01"' \
+    '"churn": "partition:at=100,heal=400,period=800"' \
+    '"protocol": "dynamic"' '"protocol": "ghk"'; do
+    grep -q "$marker" target/E22_churn_smoke.json || {
+        echo "check.sh: churn smoke JSON lacks $marker" >&2
+        exit 1
+    }
+done
+
 # Engine-throughput regression gate (KB_SKIP_PERF=1 skips the ~1 min
 # benchmark, e.g. on loaded or throttled machines where wall-clock
 # numbers are meaningless).

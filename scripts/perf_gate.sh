@@ -6,7 +6,7 @@
 #
 # perf_smoke drives Engine<_, NoFaults> with an Observer whose
 # DETAIL = false, so holding this floor is the zero-cost proof for
-# four opt-in subsystems at once:
+# five opt-in subsystems at once:
 #   - faults: FaultModel::ENABLED is false for NoFaults and every fault
 #     hook in the hot loop is behind `if F::ENABLED`;
 #   - verification: the round-detail assembly the ModelChecker needs is
@@ -19,7 +19,14 @@
 #     default every pre-CD caller gets) and every noise branch in the
 #     hot loop is behind `if C::ENABLED`, so the no-CD grid floors
 #     below must hold unchanged — with bit-identical round counts,
-#     which tests/engine_bit_identity.rs pins separately.
+#     which tests/engine_bit_identity.rs pins separately;
+#   - dynamic topology: TopologyModel::ENABLED is false for
+#     StaticTopology (the default every unchurned caller gets), so the
+#     per-round reshape hook at the top of the step compiles out
+#     entirely and perf_smoke's engine is the exact pre-churn loop —
+#     bit-identical round counts again pinned by
+#     tests/engine_bit_identity.rs and, for the inert dynamic models
+#     themselves, by tests/churn_static_equivalence.rs.
 # A clean, unverified, untraced engine must therefore monomorphize to
 # the pre-subsystem loop and keep its throughput (the 35% slack against
 # the committed baseline is for machine variance, not for

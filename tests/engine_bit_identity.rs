@@ -46,6 +46,7 @@ fn options() -> RunOptions {
         max_rounds: None,
         verify: true,
         trace: true,
+        ..RunOptions::default()
     }
 }
 

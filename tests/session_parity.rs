@@ -185,6 +185,7 @@ fn lossy_run_succeeds_on_small_grid() {
         max_rounds: None,
         verify: false,
         trace: false,
+        ..RunOptions::default()
     };
     let r = run_with_options(&topo, &w, None, 0, opts).unwrap();
     assert!(r.success, "5% loss must be absorbed on a 4x4 grid");
@@ -205,6 +206,7 @@ fn invalid_loss_rate_is_rejected_up_front() {
             max_rounds: None,
             verify: false,
             trace: false,
+            ..RunOptions::default()
         };
         let err = run_with_options(&topo, &w, None, 0, opts).unwrap_err();
         assert!(
@@ -223,6 +225,7 @@ fn zero_round_cap_is_rejected_up_front() {
         max_rounds: Some(0),
         verify: false,
         trace: false,
+        ..RunOptions::default()
     };
     let err = run_with_options(&topo, &w, None, 0, opts).unwrap_err();
     assert!(matches!(err, Error::InvalidParameter { .. }));
@@ -237,6 +240,7 @@ fn round_cap_reports_truthful_failure() {
         max_rounds: Some(10),
         verify: false,
         trace: false,
+        ..RunOptions::default()
     };
     let r = run_with_options(&topo, &w, None, 0, opts).unwrap();
     assert!(!r.success, "10 rounds cannot complete leader election");

@@ -1,7 +1,7 @@
-//! Fault × verifier conformance: the online model checker and stage
-//! invariants must accept every execution the engine can actually
-//! produce — clean, lossy, and under all six fault families — with
-//! zero violations. A false positive here would make `--verify`
+//! Fault × churn × verifier conformance: the online model checker and
+//! stage invariants must accept every execution the engine can
+//! actually produce — clean, lossy, under all six fault families, and
+//! on all three dynamic-topology models — with zero violations. A false positive here would make `--verify`
 //! useless for experiments, so this suite is the checker's own
 //! regression net. All seeds are pinned; any failure reproduces
 //! bit-for-bit.
@@ -13,6 +13,7 @@ use radio_kbcast::kbcast::runner::{CodedProtocol, RunOptions, Workload};
 use radio_kbcast::kbcast::session::{
     run_protocol, run_protocol_on_graph, run_protocol_on_graph_with_faults,
 };
+use radio_kbcast::radio_net::dyntopo::{ChurnSpec, PartitionWindow};
 use radio_kbcast::radio_net::engine::{Engine, Node, WithCd};
 use radio_kbcast::radio_net::error::Error;
 use radio_kbcast::radio_net::faults::FaultSpec;
@@ -364,6 +365,107 @@ fn cd_fault_interactions_match_the_checker() {
             case.name
         );
     }
+}
+
+/// The three dynamic-topology families, one representative spec each
+/// (mirrors E22's quick grid).
+fn churn_models() -> [ChurnSpec; 3] {
+    [
+        ChurnSpec::Edge {
+            rho: 0.03,
+            heal: 0.2,
+        },
+        ChurnSpec::Waypoint {
+            radius: 0.45,
+            speed: 0.01,
+        },
+        ChurnSpec::Partition(PartitionWindow {
+            split_at: 50,
+            heal_at: 200,
+            period: Some(400),
+        }),
+    ]
+}
+
+/// Churn × fault × CD conformance: every combination of dynamic
+/// topology, fault family and channel model must verify with zero
+/// violations — the churn-aware checker replica has to track the
+/// engine's graph exactly even while faults rewrite outcomes on top of
+/// it. Sessions may fail to deliver (a partition can outlast the cap);
+/// the checkers must stay silent regardless.
+#[test]
+fn model_checker_accepts_churn_fault_cd_combinations() {
+    let fault_specs = ["none", "uniform:rate=0.15", "jam:budget=200"];
+    for churn in churn_models() {
+        for spec in fault_specs {
+            for seed in 0..2 {
+                let fault: FaultSpec = spec.parse().expect("family spec parses");
+                let topo = Topology::Grid2d { rows: 4, cols: 4 };
+                let graph = topo.build(seed).expect("topology builds");
+                let workload = Workload::random(16, 6, seed);
+                let faults = fault.build(16, seed).expect("family spec validates");
+                let opts = RunOptions {
+                    // Bound the partition-split sessions: conformance
+                    // is about violations, not delivery.
+                    max_rounds: Some(30_000),
+                    churn,
+                    ..verify_opts()
+                };
+                // No-CD channel: the coded protocol.
+                match run_protocol_on_graph_with_faults(
+                    &CodedProtocol::default(),
+                    graph.clone(),
+                    &workload,
+                    seed,
+                    opts,
+                    faults.clone(),
+                ) {
+                    Ok(_) => {}
+                    Err(Error::VerificationFailed { details, .. }) => panic!(
+                        "churn checker false positive: coded under '{churn}' + '{spec}' \
+                         seed {seed}:\n{details}"
+                    ),
+                    Err(e) => panic!("coded session error under '{churn}' + '{spec}': {e}"),
+                }
+                // CD channel: GHK — the CD axiom must reconcile noise
+                // against the *churned* graph's transmitter sets.
+                match run_protocol_on_graph_with_faults(
+                    &GhkProtocol::default(),
+                    graph,
+                    &workload,
+                    seed,
+                    opts,
+                    faults,
+                ) {
+                    Ok(_) => {}
+                    Err(Error::VerificationFailed { details, .. }) => panic!(
+                        "churn checker false positive: ghk under '{churn}' + '{spec}' \
+                         seed {seed}:\n{details}"
+                    ),
+                    Err(e) => panic!("ghk session error under '{churn}' + '{spec}': {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// Churn composes with the legacy loss knob too — the checker sees
+/// drops on edges of the *current* snapshot.
+#[test]
+fn model_checker_accepts_churn_with_legacy_loss() {
+    let opts = RunOptions {
+        loss_rate: 0.1,
+        max_rounds: Some(30_000),
+        churn: ChurnSpec::Edge {
+            rho: 0.02,
+            heal: 0.25,
+        },
+        ..verify_opts()
+    };
+    let topo = Topology::Grid2d { rows: 4, cols: 4 };
+    let workload = Workload::random(16, 6, 3);
+    run_protocol(&CodedProtocol::default(), &topo, &workload, 3, opts)
+        .expect("lossy churned verified run must not trip the checkers");
 }
 
 /// Seed-pinned spot checks on larger random topologies: the exact
